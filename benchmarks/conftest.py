@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every benchmark file regenerates one of the paper's tables or figures:
+
+- a *native* part exercises the real code on the thread-backed MPI runtime
+  (timed with pytest-benchmark), and
+- a *modeled* part replays the experiment at paper scale through
+  :mod:`repro.perf` and emits the same rows/series the paper reports.
+
+Rows are printed and also written under ``benchmarks/out/`` so the series
+survive pytest's output capture; run with ``-s`` to see them inline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture
+def report():
+    """Emit one experiment's rows: print + persist to benchmarks/out/."""
+
+    def _report(name: str, header: str, rows: list[str]) -> str:
+        os.makedirs(OUT_DIR, exist_ok=True)
+        lines = [header, "-" * len(header), *rows]
+        text = "\n".join(lines)
+        print(f"\n=== {name} ===\n{text}")
+        path = os.path.join(OUT_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _report

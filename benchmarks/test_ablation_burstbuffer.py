@@ -1,0 +1,66 @@
+"""Ablation: burst-buffer staging vs direct filesystem writes.
+
+The paper's conclusion flags "burst buffers on Cori, to achieve accelerated
+staging operations" as the architectural direction for in situ/post hoc
+balance.  This ablation models per-step write cost with and without the
+burst buffer at the three miniapp scales, including the regime where the
+drain cannot keep up with the step cadence.
+"""
+
+from repro.perf.iomodel import IOModel
+from repro.perf.machine import CORI
+from repro.perf.miniapp_model import MiniappConfig, MiniappModel
+
+
+def test_ablation_burst_buffer(benchmark, report):
+    io = IOModel(CORI)
+
+    def series():
+        rows = []
+        for scale in ("1K", "6K", "45K"):
+            m = MiniappModel(MiniappConfig.at_scale(scale))
+            direct = io.file_per_process_write(m.cfg.cores, m.cfg.step_bytes)
+            bb, keeps_up = io.burst_buffer_write(
+                m.cfg.cores, m.cfg.step_bytes, step_interval=m.sim_step
+            )
+            rows.append((scale, direct, bb, keeps_up, direct / bb))
+        return rows
+
+    rows = benchmark(series)
+    report(
+        "ablation_burstbuffer",
+        f"{'scale':<5}{'direct(s)':>11}{'burst buffer(s)':>16}{'drains?':>9}{'speedup':>9}",
+        [
+            f"{s:<5}{d:>11.3f}{b:>16.4f}{str(k):>9}{sp:>9.1f}"
+            for s, d, b, k, sp in rows
+        ],
+    )
+    by = {s: (d, b, k, sp) for s, d, b, k, sp in rows}
+    # The burst buffer absorbs every scale's step at ~100x under the direct
+    # cost (no per-file metadata storm).
+    assert all(b < d for _, (d, b, _, _) in by.items())
+    assert all(sp > 50 for _, (_, _, _, sp) in by.items())
+    # At the miniapp's ~0.4 s cadence the drain keeps up everywhere ...
+    assert all(k for _, (_, _, k, _) in by.items())
+    # ... but a faster-stepping producer saturates the PFS drain: 123 GB
+    # arriving every 0.05 s cannot drain at 700 GB/s, and the cost reverts
+    # toward the filesystem-bound rate.
+    m45 = MiniappModel(MiniappConfig.at_scale("45K"))
+    saturated, keeps_up = io.burst_buffer_write(
+        m45.cfg.cores, m45.cfg.step_bytes, step_interval=0.05
+    )
+    assert keeps_up is False
+    assert saturated > by["45K"][1]
+
+
+def test_ablation_burst_buffer_validation(benchmark):
+    io = IOModel(CORI)
+
+    def check():
+        try:
+            io.burst_buffer_write(812, 2e9, step_interval=0.0)
+        except ValueError:
+            return True
+        return False
+
+    assert benchmark(check)

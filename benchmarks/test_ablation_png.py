@@ -1,0 +1,71 @@
+"""Ablation: PNG zlib compression level (the Table 2 bottleneck knob).
+
+"We determined that the ZLIB compression time in generating the PNG file
+was the culprit" -- skipping compression took the 8-process toy problem
+from 4.03 s to 0.518 s per step.  This ablation sweeps the real encoder's
+compression level over a rendered frame and reports time and size, plus
+the modeled effect on the PHASTA IS2 run.
+"""
+
+import numpy as np
+
+from repro.perf.apps_model import PHASTA_RUNS, phasta_table2
+from repro.render import VIRIDIS, encode_png
+
+H, W = 362, 1450  # half the IS2/IS3 image, to keep native sweeps quick
+
+
+def _frame():
+    """A realistic pseudocolored frame (smooth field + noise)."""
+    rng = np.random.default_rng(0)
+    y, x = np.mgrid[0:H, 0:W]
+    field = np.sin(x / 40.0) * np.cos(y / 25.0) + 0.1 * rng.standard_normal((H, W))
+    return VIRIDIS.map(field)
+
+
+FRAME = _frame()
+
+
+def test_ablation_native_level0(benchmark):
+    blob = benchmark(lambda: encode_png(FRAME, 0))
+    assert len(blob) > FRAME.nbytes  # stored, not compressed
+
+
+def test_ablation_native_level6(benchmark):
+    blob = benchmark(lambda: encode_png(FRAME, 6))
+    assert len(blob) < FRAME.nbytes
+
+
+def test_ablation_native_level9(benchmark):
+    benchmark(lambda: encode_png(FRAME, 9))
+
+
+def test_ablation_sweep_and_model(benchmark, report):
+    def sweep():
+        import time
+
+        rows = []
+        for level in (0, 1, 3, 6, 9):
+            t0 = time.perf_counter()
+            blob = encode_png(FRAME, level)
+            rows.append((level, time.perf_counter() - t0, len(blob)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    with_c = phasta_table2(PHASTA_RUNS["IS2"], compression=True)
+    without = phasta_table2(PHASTA_RUNS["IS2"], compression=False)
+    out = [
+        f"level {lvl}: {t * 1e3:8.2f} ms  {size / 1024:9.1f} KiB"
+        for lvl, t, size in rows
+    ]
+    out.append(
+        f"modeled PHASTA IS2 per-step: {with_c.insitu_per_step:.2f}s with zlib "
+        f"-> {without.insitu_per_step:.2f}s without (paper: 4.03 -> 0.518 on toy)"
+    )
+    report("ablation_png", "PNG compression-level sweep (1450x362 RGB)", out)
+    # Level 0 is fastest and largest; higher levels trade time for size.
+    times = {lvl: t for lvl, t, _ in rows}
+    sizes = {lvl: s for lvl, _, s in rows}
+    assert times[0] < times[6]
+    assert sizes[9] <= sizes[1] <= sizes[0]
+    assert with_c.insitu_per_step > 2.5 * without.insitu_per_step

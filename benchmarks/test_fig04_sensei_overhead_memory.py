@@ -1,0 +1,78 @@
+"""Fig. 4: memory footprint, Original vs SENSEI Autocorrelation.
+
+Paper claim: "comparable memory footprint for the two configurations" --
+the zero-copy mapping adds no buffers.
+
+Native part: run both configurations with full allocation accounting and
+assert equal high-water marks.  Modeled part: summed per-rank high-water
+bytes at 1K/6K/45K.
+"""
+
+from repro.analysis import AutocorrelationAnalysis
+from repro.analysis.autocorrelation import AutocorrelationState
+from repro.core import Bridge
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.perf.miniapp_model import MiniappConfig, MiniappModel
+from repro.util import MemoryTracker, sum_high_water
+
+DIMS = (16, 16, 16)
+STEPS = 3
+WINDOW = 4
+
+
+def _measure(use_sensei: bool):
+    def prog(comm):
+        mem = MemoryTracker()
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), memory=mem)
+        if use_sensei:
+            bridge = Bridge(comm, sim.make_data_adaptor(), memory=mem)
+            bridge.add_analysis(AutocorrelationAnalysis(window=WINDOW, k=3))
+            bridge.initialize()
+            sim.run(STEPS, bridge)
+            bridge.finalize()
+        else:
+            state = AutocorrelationState(WINDOW, sim.field.size, memory=mem)
+            for _ in range(STEPS):
+                sim.advance()
+                state.update(sim.field)
+            state.finalize(comm, k=3)
+        return mem
+
+    return run_spmd(4, prog)
+
+
+def test_fig04_native_equal_highwater(benchmark):
+    def run_both():
+        return sum_high_water(_measure(False)), sum_high_water(_measure(True))
+
+    original, sensei = benchmark.pedantic(run_both, rounds=2, iterations=1)
+    assert original == sensei  # byte-for-byte: the zero-copy claim
+
+
+def test_fig04_modeled_series(benchmark, report):
+    def series():
+        rows = []
+        for scale in ("1K", "6K", "45K"):
+            m = MiniappModel(MiniappConfig.at_scale(scale))
+            orig = m.original().high_water_bytes_per_rank
+            # Both configurations carry the same autocorrelation buffers.
+            ac_buffers = 2 * m.cfg.ac_window * m.cfg.points_per_core * 8
+            sensei = m.autocorrelation().high_water_bytes_per_rank
+            rows.append(
+                (scale, m.cfg.cores, (orig + ac_buffers) * m.cfg.cores, sensei * m.cfg.cores)
+            )
+        return rows
+
+    rows = benchmark(series)
+    report(
+        "fig04_memory_footprint",
+        f"{'scale':<5}{'cores':>8}{'original(TB)':>15}{'sensei(TB)':>15}",
+        [
+            f"{s:<5}{c:>8}{o / 1e12:>15.3f}{n / 1e12:>15.3f}"
+            for s, c, o, n in rows
+        ],
+    )
+    for _, _, o, n in rows:
+        assert o == n

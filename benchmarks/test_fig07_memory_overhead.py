@@ -1,0 +1,96 @@
+"""Fig. 7: memory overhead -- startup footprint vs high-water mark.
+
+Paper claims: startup footprint is ~the Baseline executable for every
+configuration; the high-water mark varies with the analysis (slice configs
+carry library + framebuffer; autocorrelation carries its circular buffers);
+summed over ranks, it grows with scale.
+"""
+
+import tempfile
+
+from repro.analysis import AutocorrelationAnalysis, HistogramAnalysis
+from repro.analysis.slice_ import SlicePlane
+from repro.core import Bridge
+from repro.infrastructure import CatalystAdaptor, LibsimAdaptor, write_session_file
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.perf.miniapp_model import MiniappConfig, MiniappModel
+from repro.util import MemoryTracker, sum_high_water
+
+DIMS = (12, 12, 12)
+_dir = tempfile.mkdtemp(prefix="fig07_")
+SESSION = f"{_dir}/session.json"
+write_session_file(SESSION, [{"type": "pseudocolor_slice", "index": 6}], (64, 64))
+
+
+def _measure(name):
+    factories = {
+        "baseline": lambda: None,
+        "histogram": lambda: HistogramAnalysis(bins=32),
+        "autocorrelation": lambda: AutocorrelationAnalysis(window=4),
+        "catalyst-slice": lambda: CatalystAdaptor(SlicePlane(2, 6), resolution=(64, 64)),
+        "libsim-slice": lambda: LibsimAdaptor(session_file=SESSION),
+    }
+
+    def prog(comm):
+        mem = MemoryTracker()
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), memory=mem)
+        startup = mem.peak
+        bridge = Bridge(comm, sim.make_data_adaptor(), memory=mem)
+        analysis = factories[name]()
+        if analysis is not None:
+            bridge.add_analysis(analysis)
+        bridge.initialize()
+        sim.run(2, bridge)
+        bridge.finalize()
+        return startup, mem
+
+    out = run_spmd(2, prog)
+    return sum(s for s, _ in out), sum_high_water([m for _, m in out])
+
+
+def test_fig07_native_ranking(benchmark):
+    out = benchmark.pedantic(
+        lambda: {n: _measure(n) for n in ("baseline", "histogram", "catalyst-slice")},
+        rounds=1,
+        iterations=1,
+    )
+    base_start, base_hw = out["baseline"]
+    _, hist_hw = out["histogram"]
+    _, cat_hw = out["catalyst-slice"]
+    assert hist_hw >= base_hw
+    assert cat_hw > hist_hw  # library + framebuffer dominate
+
+
+def test_fig07_modeled_series(benchmark, report):
+    def series():
+        rows = []
+        for scale in ("1K", "6K", "45K"):
+            m = MiniappModel(MiniappConfig.at_scale(scale))
+            for b in m.all_insitu_configs():
+                rows.append(
+                    (
+                        scale,
+                        b.config_name,
+                        b.startup_bytes_per_rank * m.cfg.cores,
+                        b.high_water_bytes_per_rank * m.cfg.cores,
+                    )
+                )
+        return rows
+
+    rows = benchmark(series)
+    report(
+        "fig07_memory_overhead",
+        f"{'scale':<5}{'configuration':<17}{'startup(TB)':>13}{'high-water(TB)':>15}",
+        [
+            f"{s:<5}{n:<17}{st / 1e12:>13.3f}{hw / 1e12:>15.3f}"
+            for s, n, st, hw in rows
+        ],
+    )
+    by = {(s, n): (st, hw) for s, n, st, hw in rows}
+    # High-water grows with scale for every configuration.
+    for name in ("baseline", "histogram", "autocorrelation", "catalyst-slice"):
+        assert by[("45K", name)][1] > by[("1K", name)][1]
+    # Startup is baseline-like for non-library configs.
+    assert by[("45K", "histogram")][0] == by[("45K", "baseline")][0]

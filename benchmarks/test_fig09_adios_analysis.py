@@ -1,0 +1,84 @@
+"""Fig. 9: ADIOS FlexPath endpoint-side timings per analysis use case.
+
+Paper claims: analysis times are "in line with" the inline Catalyst-slice /
+autocorrelation / histogram timings (with the staging penalty -- ~50% for
+Catalyst-slice); reader initialization is expensive on Cori and an order of
+magnitude cheaper on Titan.
+"""
+
+from repro.analysis import AutocorrelationAnalysis, HistogramAnalysis
+from repro.core import Bridge
+from repro.infrastructure.adios import run_flexpath_job
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.perf.machine import CORI, TITAN
+from repro.perf.miniapp_model import SCALES, MiniappConfig, MiniappModel
+from repro.util import TimerRegistry
+
+DIMS = (16, 16, 16)
+STEPS = 3
+
+
+def _writer_program(comm, writer):
+    timers = TimerRegistry()
+    sim = OscillatorSimulation(comm, DIMS, default_oscillators(), timers=timers)
+    bridge = Bridge(comm, sim.make_data_adaptor(), timers=timers)
+    bridge.add_analysis(writer)
+    bridge.initialize()
+    sim.run(STEPS, bridge)
+    bridge.finalize()
+    return None
+
+
+def _endpoint_timers(analysis_factory):
+    result = run_flexpath_job(
+        n_writers=4,
+        n_endpoints=2,
+        writer_program=_writer_program,
+        analysis_factory=analysis_factory,
+    )
+    return result.endpoint_results[0]["timers"]
+
+
+def test_fig09_native_endpoints(benchmark):
+    def run_both():
+        return {
+            "histogram": _endpoint_timers(lambda c: HistogramAnalysis(bins=16)),
+            "autocorrelation": _endpoint_timers(
+                lambda c: AutocorrelationAnalysis(window=3)
+            ),
+        }
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for timers in out.values():
+        assert timers["endpoint::analysis"]["count"] == STEPS
+
+
+def test_fig09_modeled_series(benchmark, report):
+    def series():
+        rows = []
+        for scale in ("1K", "6K", "45K"):
+            for analysis in ("histogram", "autocorrelation", "catalyst-slice"):
+                m = MiniappModel(MiniappConfig.at_scale(scale))
+                fp = m.flexpath(analysis)
+                rows.append(
+                    (scale, analysis, fp["endpoint_initialize"], fp["endpoint_analysis"])
+                )
+        return rows
+
+    rows = benchmark(series)
+    report(
+        "fig09_adios_endpoint",
+        f"{'scale':<5}{'analysis':<17}{'reader init(s)':>15}{'analysis/step(s)':>17}",
+        [f"{s:<5}{a:<17}{i:>15.3f}{t:>17.4f}" for s, a, i, t in rows],
+    )
+    by = {(s, a): (i, t) for s, a, i, t in rows}
+    # Reader init grows with scale on Cori.
+    assert by[("45K", "histogram")][0] > by[("1K", "histogram")][0]
+    # Titan's reader init is ~10x cheaper at the same concurrency.
+    cores, ppc = SCALES["6K"]
+    init_titan = MiniappModel(
+        MiniappConfig(cores=cores, points_per_core=ppc, machine=TITAN)
+    ).flexpath("histogram")["endpoint_initialize"]
+    init_cori = by[("6K", "histogram")][0]
+    assert 5.0 < init_cori / init_titan < 20.0

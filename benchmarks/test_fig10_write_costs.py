@@ -1,0 +1,85 @@
+"""Fig. 10: baseline vs baseline+per-step writes.
+
+Paper claims: at 1K the write "has little impact"; at 6K writes take ~4x
+the simulation; at 45K ~20x (9 s/step for 123 GB).
+
+Native part: benchmark the real file-per-process write path against the
+simulation step.  Modeled part: the per-phase bars at the three scales.
+"""
+
+from repro.core import Bridge
+from repro.data import Association
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.perf.miniapp_model import MiniappConfig, MiniappModel
+from repro.storage import write_timestep
+from repro.util import TimerRegistry
+
+DIMS = (20, 20, 20)
+STEPS = 3
+
+
+def _run_with_writes(tmpdir):
+    def prog(comm):
+        timers = TimerRegistry()
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), timers=timers)
+        adaptor = sim.make_data_adaptor()
+        for _ in range(STEPS):
+            sim.advance()
+            with timers.time("io::write"):
+                mesh = adaptor.get_mesh()
+                mesh.add_array(
+                    Association.POINT, adaptor.get_array(Association.POINT, "data")
+                )
+                write_timestep(comm, tmpdir, sim.step, sim.time, mesh, "data")
+            adaptor.release_data()
+        return (
+            timers.total("simulation::advance") / STEPS,
+            timers.total("io::write") / STEPS,
+        )
+
+    return run_spmd(4, prog)
+
+
+def test_fig10_native_write_cost(benchmark, tmp_path):
+    out = benchmark.pedantic(
+        lambda: _run_with_writes(str(tmp_path / "w")), rounds=2, iterations=1
+    )
+    sim_t = max(s for s, _ in out)
+    write_t = max(w for _, w in out)
+    assert write_t > 0 and sim_t > 0
+
+
+def test_fig10_modeled_series(benchmark, report):
+    def series():
+        rows = []
+        for scale in ("1K", "6K", "45K"):
+            m = MiniappModel(MiniappConfig.at_scale(scale))
+            b = m.baseline_with_writes()
+            rows.append(
+                (
+                    scale,
+                    b.sim_initialize,
+                    b.sim_per_step,
+                    b.write_per_step,
+                    b.finalize,
+                    b.write_per_step / b.sim_per_step,
+                )
+            )
+        return rows
+
+    rows = benchmark(series)
+    report(
+        "fig10_write_costs",
+        f"{'scale':<5}{'init(s)':>9}{'sim/step(s)':>12}{'write/step(s)':>14}"
+        f"{'final(s)':>9}{'write/sim':>10}",
+        [
+            f"{s:<5}{i:>9.3f}{sim:>12.3f}{w:>14.3f}{f:>9.3f}{r:>10.1f}"
+            for s, i, sim, w, f, r in rows
+        ],
+    )
+    ratios = {s: r for s, _, _, _, _, r in rows}
+    assert ratios["1K"] < 1.0
+    assert 2.0 < ratios["6K"] < 8.0
+    assert 12.0 < ratios["45K"] < 30.0

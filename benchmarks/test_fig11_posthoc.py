@@ -1,0 +1,113 @@
+"""Fig. 11: post hoc read/process/write at 10% of the writer cores.
+
+Paper claims: reads dominate (up to 5-10x the miniapp's own runtime at
+45K), with "significant variability in read times on the NERSC Lustre
+system at scale"; the autocorrelation runs needed 2x the nodes for window
+memory.
+
+Native part: benchmark the real write-then-read-then-analyze pipeline.
+Modeled part: the read/process/write stacks at 82/650/4545 reader cores,
+with the variability band from repeated samples.
+"""
+
+import numpy as np
+
+from repro.core import Bridge
+from repro.data import Association
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.perf.iomodel import IOModel
+from repro.perf.machine import CORI
+from repro.perf.miniapp_model import MiniappConfig, MiniappModel
+from repro.posthoc import run_posthoc_analysis
+from repro.storage import write_timestep
+
+DIMS = (16, 16, 16)
+STEPS = 3
+
+
+def _write_run(tmpdir):
+    def prog(comm):
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators())
+        ad = sim.make_data_adaptor()
+        for _ in range(STEPS):
+            sim.advance()
+            mesh = ad.get_mesh()
+            mesh.add_array(Association.POINT, ad.get_array(Association.POINT, "data"))
+            write_timestep(comm, tmpdir, sim.step, sim.time, mesh, "data")
+            ad.release_data()
+
+    run_spmd(8, prog)
+
+
+def _read_run(tmpdir, analysis):
+    def prog(comm):
+        return run_posthoc_analysis(
+            comm, tmpdir, steps=list(range(1, STEPS + 1)), analysis=analysis,
+            slice_index=8, resolution=(48, 48),
+        )
+
+    # 2 readers against 8 writers: the few-readers pattern.
+    return run_spmd(2, prog)
+
+
+def test_fig11_native_pipeline(benchmark, tmp_path):
+    d = str(tmp_path / "run")
+    _write_run(d)
+
+    out = benchmark.pedantic(
+        lambda: {a: _read_run(d, a) for a in ("histogram", "slice")},
+        rounds=1,
+        iterations=1,
+    )
+    for res in out.values():
+        assert res[0].read_time > 0
+
+
+def test_fig11_modeled_series(benchmark, report):
+    def series():
+        rows = []
+        for scale in ("1K", "6K", "45K"):
+            m = MiniappModel(MiniappConfig.at_scale(scale))
+            for analysis in ("histogram", "autocorrelation", "slice"):
+                ph = m.posthoc(analysis)
+                rows.append(
+                    (scale, analysis, ph["readers"], ph["read"], ph["process"], ph["write"])
+                )
+        return rows
+
+    rows = benchmark(series)
+    report(
+        "fig11_posthoc",
+        f"{'scale':<5}{'analysis':<17}{'readers':>8}{'read(s)':>10}"
+        f"{'process(s)':>11}{'write(s)':>10}",
+        [
+            f"{s:<5}{a:<17}{r:>8}{rd:>10.1f}{p:>11.2f}{w:>10.2f}"
+            for s, a, r, rd, p, w in rows
+        ],
+    )
+    by = {(s, a): (r, rd, p, w) for s, a, r, rd, p, w in rows}
+    assert by[("1K", "histogram")][0] == 81
+    assert by[("45K", "histogram")][0] == 4544
+    # Reads dominate processing at scale.
+    assert by[("45K", "histogram")][1] > by[("45K", "histogram")][2]
+
+
+def test_fig11_modeled_variability(benchmark, report):
+    io = IOModel(CORI)
+
+    def samples():
+        return io.read_samples(4544, 45440, 123e9, n=30, seed=7)
+
+    s = benchmark(samples)
+    cov = float(s.std() / s.mean())
+    report(
+        "fig11_read_variability",
+        "read-time variability at 45K (30 modeled samples)",
+        [
+            f"mean {s.mean():8.2f}s  min {s.min():8.2f}s  max {s.max():8.2f}s  "
+            f"cov {cov:5.2f}"
+        ],
+    )
+    assert cov > 0.2  # "significant variability"

@@ -1,0 +1,112 @@
+"""Fig. 12: weak-scaling time-to-solution of the in situ configurations,
+compared against the post hoc equivalents.
+
+Paper claim: "The overall times to solution for the in situ configurations
+are significantly faster than the post hoc configurations" -- e.g. ~9
+s/write x 100 steps at 45K dwarfs any in situ configuration's total.
+"""
+
+from repro.analysis import HistogramAnalysis
+from repro.core import Bridge
+from repro.data import Association
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.perf.miniapp_model import MiniappConfig, MiniappModel
+from repro.posthoc import run_posthoc_analysis
+from repro.storage import write_timestep
+from repro.util import TimerRegistry
+
+DIMS = (16, 16, 16)
+STEPS = 3
+
+
+def _native_compare(tmpdir):
+    """End-to-end native: in situ histogram vs write+read+histogram."""
+
+    def insitu(comm):
+        timers = TimerRegistry()
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), timers=timers)
+        bridge = Bridge(comm, sim.make_data_adaptor(), timers=timers)
+        bridge.add_analysis(HistogramAnalysis(bins=16))
+        bridge.initialize()
+        sim.run(STEPS, bridge)
+        bridge.finalize()
+        return timers.total("simulation::advance") + timers.total("sensei::execute")
+
+    def writer(comm):
+        timers = TimerRegistry()
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), timers=timers)
+        ad = sim.make_data_adaptor()
+        for _ in range(STEPS):
+            sim.advance()
+            with timers.time("io"):
+                mesh = ad.get_mesh()
+                mesh.add_array(Association.POINT, ad.get_array(Association.POINT, "data"))
+                write_timestep(comm, tmpdir, sim.step, sim.time, mesh, "data")
+            ad.release_data()
+        return timers.total("simulation::advance") + timers.total("io")
+
+    t_insitu = max(run_spmd(4, insitu))
+    t_write = max(run_spmd(4, writer))
+    res = run_spmd(
+        1,
+        lambda comm: run_posthoc_analysis(
+            comm, tmpdir, list(range(1, STEPS + 1)), "histogram", bins=16
+        ),
+    )[0]
+    return t_insitu, t_write + res.read_time + res.process_time
+
+
+def test_fig12_native_compare(benchmark, tmp_path):
+    counter = iter(range(10_000))
+    t_insitu, t_posthoc = benchmark.pedantic(
+        lambda: _native_compare(str(tmp_path / f"r{next(counter)}")),
+        rounds=2,
+        iterations=1,
+    )
+    assert t_insitu < t_posthoc  # already true even at laptop scale
+
+
+def test_fig12_modeled_series(benchmark, report):
+    matching = {
+        "baseline": None,
+        "histogram": "histogram",
+        "autocorrelation": "autocorrelation",
+        "catalyst-slice": "slice",
+        "libsim-slice": "slice",
+    }
+
+    def series():
+        rows = []
+        for scale in ("1K", "6K", "45K"):
+            m = MiniappModel(MiniappConfig.at_scale(scale))
+            for b in m.all_insitu_configs():
+                insitu_total = b.time_to_solution(m.cfg.steps)
+                post_name = matching[b.config_name]
+                if post_name is None:
+                    posthoc_total = float("nan")
+                else:
+                    writes = m.cfg.steps * m.io.file_per_process_write(
+                        m.cfg.cores, m.cfg.step_bytes
+                    )
+                    ph = m.posthoc(post_name)
+                    posthoc_total = (
+                        m.cfg.steps * b.sim_per_step
+                        + writes
+                        + ph["read"]
+                        + ph["process"]
+                        + ph["write"]
+                    )
+                rows.append((scale, b.config_name, insitu_total, posthoc_total))
+        return rows
+
+    rows = benchmark(series)
+    report(
+        "fig12_insitu_vs_posthoc",
+        f"{'scale':<5}{'configuration':<17}{'in situ(s)':>12}{'post hoc(s)':>13}",
+        [f"{s:<5}{n:<17}{i:>12.1f}{p:>13.1f}" for s, n, i, p in rows],
+    )
+    for s, n, insitu, posthoc in rows:
+        if posthoc == posthoc:  # skip NaN baseline row
+            assert insitu < posthoc, (s, n)

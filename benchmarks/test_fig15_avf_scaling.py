@@ -1,0 +1,76 @@
+"""Fig. 15: AVF-LESLIE strong scaling with SENSEI/Libsim in situ (Titan).
+
+Paper claims: good solver scaling to 16K cores with degradation beyond;
+Libsim visualization adds an average of 1-1.5 s per step over all core
+counts; analysis time exceeds solver time at high concurrency.
+"""
+
+import tempfile
+
+from repro.apps.avf_leslie_proxy import AVFLeslieSimulation
+from repro.core import Bridge
+from repro.infrastructure import LibsimAdaptor, write_session_file
+from repro.mpi import run_spmd
+from repro.perf.apps_model import AVFRun, avf_strong_scaling
+
+_dir = tempfile.mkdtemp(prefix="fig15_")
+SESSION = f"{_dir}/session.json"
+write_session_file(
+    SESSION,
+    [
+        {"type": "isosurface", "isovalues": [1.0, 3.0, 6.0]},
+        {"type": "pseudocolor_slice", "axis": 0, "index": 4},
+        {"type": "pseudocolor_slice", "axis": 1, "index": 4},
+        {"type": "pseudocolor_slice", "axis": 2, "index": 2},
+    ],
+    resolution=(64, 64),
+)
+
+
+def _native_run(nranks):
+    def prog(comm):
+        sim = AVFLeslieSimulation(comm, global_dims=(16, 12, 6))
+        bridge = Bridge(comm, sim.make_data_adaptor(), timers=sim.timers)
+        bridge.add_analysis(
+            LibsimAdaptor(session_file=SESSION, array="vorticity", frequency=5)
+        )
+        bridge.initialize()
+        sim.run(5, bridge)
+        bridge.finalize()
+        return sim.timers.total("avf_timestep"), sim.timers.total("avf_insitu::analyze")
+
+    return run_spmd(nranks, prog)
+
+
+def test_fig15_native_solver_plus_insitu(benchmark):
+    out = benchmark.pedantic(lambda: _native_run(4), rounds=2, iterations=1)
+    solver, insitu = out[0]
+    assert solver > 0 and insitu > 0
+
+
+def test_fig15_modeled_series(benchmark, report):
+    core_counts = (8_192, 16_384, 32_768, 65_536, 131_072)
+
+    def series():
+        return {c: avf_strong_scaling(AVFRun(cores=c)) for c in core_counts}
+
+    out = benchmark(series)
+    report(
+        "fig15_avf_scaling",
+        f"{'cores':>8}{'solver/step(s)':>15}{'libsim/invoc(s)':>16}"
+        f"{'avg added/step(s)':>18}",
+        [
+            f"{c:>8}{r.solver_per_step:>15.2f}{r.libsim_per_invocation:>16.2f}"
+            f"{r.avg_added_per_step:>18.2f}"
+            for c, r in out.items()
+        ],
+    )
+    # Solver strong-scales, with degradation beyond 16K.
+    assert out[16_384].solver_per_step < out[8_192].solver_per_step
+    ideal = out[16_384].solver_per_step / 8
+    assert out[131_072].solver_per_step > ideal * 1.1
+    # Libsim adds 1-1.5 s per step on average, everywhere.
+    for r in out.values():
+        assert 1.0 < r.libsim_per_invocation / 5 < 2.0
+    # Analysis exceeds solver at high concurrency.
+    assert out[65_536].libsim_per_invocation > out[65_536].solver_per_step

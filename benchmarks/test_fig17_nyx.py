@@ -1,0 +1,72 @@
+"""Fig. 17: Nyx scaling with SENSEI in situ histogram and slice.
+
+Paper claims: "the in situ analysis time is negligible compared to solution
+time, both for the histogram and the slice at all concurrency levels";
+plot-file writes cost 17/80/312 s, so skipped dumps amortize the in situ
+instrumentation; histogram memory overhead ~2 MB/rank (the ghost array),
+slice +200-300 MB.
+"""
+
+from repro.analysis import HistogramAnalysis
+from repro.analysis.slice_ import SlicePlane
+from repro.apps.nyx_proxy import NyxSimulation
+from repro.core import Bridge
+from repro.infrastructure.catalyst import CatalystAdaptor
+from repro.mpi import run_spmd
+from repro.perf.apps_model import NYX_RUNS, nyx_scaling
+from repro.util import TimerRegistry
+
+
+def _native_run():
+    def prog(comm):
+        timers = TimerRegistry()
+        sim = NyxSimulation(comm, grid=16, timers=timers, gravity=4.0)
+        bridge = Bridge(comm, sim.make_data_adaptor(), timers=timers)
+        bridge.add_analysis(HistogramAnalysis(bins=16, array="density"))
+        bridge.add_analysis(
+            CatalystAdaptor(SlicePlane(2, 8), array="density", resolution=(48, 48))
+        )
+        bridge.initialize()
+        sim.run(3, bridge)
+        bridge.finalize()
+        solver = sum(
+            timers.total(p) for p in ("nyx::deposit", "nyx::poisson", "nyx::push", "nyx::migrate")
+        )
+        return solver, timers.total("sensei::execute")
+
+    return run_spmd(2, prog)
+
+
+def test_fig17_native_nyx_insitu(benchmark):
+    out = benchmark.pedantic(_native_run, rounds=2, iterations=1)
+    solver, analysis = out[0]
+    assert solver > 0 and analysis > 0
+
+
+def test_fig17_modeled_series(benchmark, report):
+    def series():
+        return {run.grid: nyx_scaling(run) for run in NYX_RUNS}
+
+    out = benchmark(series)
+    report(
+        "fig17_nyx",
+        f"{'grid':>6}{'cores':>8}{'solver/step(s)':>15}{'hist/step(s)':>13}"
+        f"{'slice/step(s)':>14}{'plotfile(s)':>12}",
+        [
+            f"{g:>5}^3{r.cores:>8}{r.solver_per_step:>15.1f}"
+            f"{r.histogram_per_step:>13.3f}{r.slice_per_step:>14.3f}"
+            f"{r.plotfile_write:>12.0f}"
+            for g, r in out.items()
+        ],
+    )
+    for r in out.values():
+        # Analysis negligible vs the solver, under a second per step.
+        assert r.histogram_per_step < 1.0
+        assert r.slice_per_step < 1.0
+        assert r.solver_per_step > 50 * max(r.histogram_per_step, r.slice_per_step)
+        # A skipped plot file pays for many analyzed steps.
+        assert r.plotfile_write > 10 * (r.histogram_per_step + r.slice_per_step)
+    # Memory narrative: ghost array ~2 MB/rank, slice ~250 MB.
+    r = out[1024]
+    assert r.ghost_bytes_per_rank == 2 * 1024 * 1024
+    assert 200e6 < r.slice_extra_bytes < 320e6

@@ -1,0 +1,62 @@
+"""Table 2: PHASTA in situ execution times (IS1/IS2/IS3 on Mira).
+
+Paper values: IS1 1.76 / 1.40 / 1051 / 8.2%; IS2 1.07 / 5.24 / 962 / 33%;
+IS3 1.93 / 5.62 / 653 / 13% -- and the finding that image size (serial
+rank-0 PNG zlib), not problem size, drives the per-step in situ cost.
+
+Native part: benchmark the PHASTA proxy's full in situ pipeline at the two
+image sizes, reproducing the image-size effect with real zlib.  Modeled
+part: the Table 2 rows at the paper's 262K/1M-rank configurations.
+"""
+
+from repro.apps.phasta_proxy import PhastaSimulation, PhastaSliceRender
+from repro.core import Bridge
+from repro.mpi import run_spmd
+from repro.perf.apps_model import PHASTA_RUNS, phasta_table2
+
+
+def _insitu_step(resolution, compression_level=6):
+    def prog(comm):
+        sim = PhastaSimulation(comm, (8, 6, 6))
+        bridge = Bridge(comm, sim.make_data_adaptor())
+        sl = PhastaSliceRender(
+            resolution=resolution, compression_level=compression_level
+        )
+        bridge.add_analysis(sl)
+        bridge.initialize()
+        sim.advance()
+        bridge.execute(sim.time, sim.step)
+        bridge.finalize()
+
+    run_spmd(2, prog)
+
+
+def test_table2_native_small_image(benchmark):
+    benchmark.pedantic(lambda: _insitu_step((200, 50)), rounds=3, iterations=1)
+
+
+def test_table2_native_large_image(benchmark):
+    benchmark.pedantic(lambda: _insitu_step((725, 182)), rounds=3, iterations=1)
+
+
+def test_table2_modeled(benchmark, report):
+    def series():
+        return {name: phasta_table2(run) for name, run in PHASTA_RUNS.items()}
+
+    out = benchmark(series)
+    report(
+        "table2_phasta",
+        f"{'run':<5}{'onetime(s)':>11}{'insitu/step(s)':>15}{'total(s)':>10}"
+        f"{'% in situ':>10}{'png(s)':>8}",
+        [
+            f"{name:<5}{r.onetime_cost:>11.2f}{r.insitu_per_step:>15.2f}"
+            f"{r.total_time:>10.0f}{r.percent_insitu:>10.1f}{r.png_time:>8.2f}"
+            for name, r in out.items()
+        ],
+    )
+    paper_pct = {"IS1": 8.2, "IS2": 33.0, "IS3": 13.0}
+    for name, r in out.items():
+        assert paper_pct[name] * 0.6 < r.percent_insitu < paper_pct[name] * 1.4
+    # Image size, not problem size, drives the cost.
+    assert out["IS2"].insitu_per_step > 3 * out["IS1"].insitu_per_step
+    assert abs(out["IS3"].insitu_per_step - out["IS2"].insitu_per_step) < 0.5

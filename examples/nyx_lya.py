@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Nyx-style cosmology with in situ analysis (Sec. 4.2.3, Figs. 17-18).
+
+Runs the particle-mesh proxy under self-gravity, computing an in situ
+density histogram every step and a Catalyst density slice every step --
+versus the post hoc practice of dumping a plot file "every 100th time
+step", which Fig. 18 shows is too coarse to track features.  We render a
+slice at every step and at a sparse cadence, and report how much the field
+changed between sparse snapshots.
+
+Usage::
+
+    python examples/nyx_lya.py [output_dir] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import HistogramAnalysis
+from repro.analysis.slice_ import SlicePlane
+from repro.apps.nyx_proxy import NyxSimulation
+from repro.core import Bridge
+from repro.infrastructure.catalyst import CatalystAdaptor
+from repro.mpi import run_spmd
+
+OUTPUT_DIR = sys.argv[1] if len(sys.argv) > 1 else "nyx_output"
+STEPS = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+GRID = 24
+
+
+def program(comm):
+    sim = NyxSimulation(comm, grid=GRID, gravity=6.0, dt=0.08, seed=17)
+    bridge = Bridge(comm, sim.make_data_adaptor())
+    hist = HistogramAnalysis(bins=20, array="density")
+    catalyst = CatalystAdaptor(
+        plane=SlicePlane(axis=2, index=GRID // 2),
+        array="density",
+        resolution=(320, 320),
+        output_dir=OUTPUT_DIR,
+    )
+    bridge.add_analysis(hist)
+    bridge.add_analysis(catalyst)
+    bridge.initialize()
+
+    snapshots = {}
+    for _ in range(STEPS):
+        sim.advance()
+        bridge.execute(sim.time, sim.step)
+        if sim.step in (1, STEPS // 2, STEPS):
+            snapshots[sim.step] = sim.density[1:-1].copy()
+    bridge.finalize()
+    if comm.rank == 0:
+        return hist.history, snapshots
+    return None
+
+
+def main():
+    history, snapshots = run_spmd(2, program)[0]
+    print(f"Nyx proxy: {GRID}^3 PM gravity, {STEPS} steps, in situ histogram + slice")
+    print(f"slice PNGs (every step) -> {OUTPUT_DIR}/\n")
+
+    print("density-histogram evolution (structure formation = growing tail):")
+    for step in (0, len(history) // 2, len(history) - 1):
+        h = history[step]
+        over = int(h.counts[len(h.counts) // 2 :].sum())
+        print(
+            f"  step {step + 1:>3}: max overdensity {h.vmax:7.2f}, "
+            f"cells above median bin: {over}"
+        )
+
+    steps = sorted(snapshots)
+    a, b = snapshots[steps[0]], snapshots[steps[-1]]
+    change = float(np.abs(b - a).mean())
+    print(
+        f"\nfield change between sparse snapshots (steps {steps[0]} -> {steps[-1]}): "
+        f"mean |delta| = {change:.3f} -- the Fig. 18 point: per-step in situ"
+        " imagery tracks features that sparse plot files miss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""PHASTA-style live flow-control exploration (Sec. 4.2.1 / Fig. 13).
+
+Simulates flow over a vertical tail with a synthetic jet at the separation
+point, rendering a velocity-magnitude slice through the tail each step --
+the imagery PHASTA's engineers used to "interactively determine the
+combination [of jet frequency and amplitude] that ... provide the most
+improvement".  We run the proxy at two jet settings and report how the wake
+changes, closing the same loop offline.
+
+Usage::
+
+    python examples/phasta_tail.py [output_dir]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.phasta_proxy import PhastaSimulation, PhastaSliceRender
+from repro.core import Bridge
+from repro.mpi import run_spmd
+from repro.render import decode_png
+
+OUTPUT_DIR = sys.argv[1] if len(sys.argv) > 1 else "phasta_output"
+
+
+def run_case(label, jet_freq, jet_amplitude):
+    def program(comm):
+        sim = PhastaSimulation(
+            comm,
+            global_cells=(24, 12, 12),
+            jet_freq=jet_freq,
+            jet_amplitude=jet_amplitude,
+        )
+        bridge = Bridge(comm, sim.make_data_adaptor())
+        slicer = PhastaSliceRender(
+            axis=1,
+            coordinate=0.3,
+            resolution=(400, 100),
+            output_dir=f"{OUTPUT_DIR}/{label}",
+        )
+        bridge.add_analysis(slicer)
+        bridge.initialize()
+        sim.run(6, bridge)
+        bridge.finalize()
+        # Wake intensity: mean u behind the tail, reduced across ranks
+        # (the wake region may live entirely on high-x ranks).
+        from repro.mpi import SUM
+
+        sel = (sim.x > 0.4) & (np.abs(sim.z - 0.5) < 0.2) & (np.abs(sim.y - 0.3) < 0.2)
+        total = comm.allreduce(float((sim.vel_w[sel] ** 2).sum()), SUM)
+        count = comm.allreduce(int(sel.sum()), SUM)
+        if comm.rank == 0:
+            return slicer.last_png, float(np.sqrt(total / max(count, 1)))
+        return None
+
+    return run_spmd(4, program)[0]
+
+
+def main():
+    print("PHASTA proxy: vertical tail with synthetic-jet flow control")
+    print(f"slice images -> {OUTPUT_DIR}/<case>/\n")
+    cases = [
+        ("jet_off", 8.0, 0.0),
+        ("jet_tuned", 8.0, 0.6),
+    ]
+    results = {}
+    for label, freq, amp in cases:
+        png, jet_rms = run_case(label, freq, amp)
+        img = decode_png(png)
+        results[label] = jet_rms
+        print(
+            f"  {label:<10} freq={freq:>4.1f} amp={amp:>4.2f}  "
+            f"jet-region w_rms = {jet_rms:.4f}   image {img.shape[1]}x{img.shape[0]}"
+        )
+    gain = results["jet_tuned"] - results["jet_off"]
+    print(
+        f"\njet actuation raises the cross-flow RMS near separation by {gain:+.4f} "
+        "-- inspect the slice PNGs to see its signature, as the paper's "
+        "engineers did live."
+    )
+
+
+if __name__ == "__main__":
+    main()

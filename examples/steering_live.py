@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Live computational steering (Secs. 2.2.3, 4.2.1).
+
+The PHASTA study's headline capability: "SENSEI provides live,
+reconfigurable data analytics from an ongoing simulation ... the frequency
+and the amplitude of the flow control can be manipulated to interactively
+determine the combination that ... provide[s] the most improvement."
+
+Here the "engineer" is a controller thread running a simple optimization
+loop against the live connection: it watches the published jet-response
+metric, tries a sweep of jet amplitudes mid-run, and settles on the best --
+while the simulation keeps running and publishing slice imagery.
+
+Usage::
+
+    python examples/steering_live.py [output_dir]
+"""
+
+import sys
+import threading
+
+import numpy as np
+
+from repro.apps.phasta_proxy import PhastaSimulation, PhastaSliceRender
+from repro.core import Bridge, LiveConnection, SteeringAnalysis
+from repro.mpi import run_spmd
+
+OUTPUT_DIR = sys.argv[1] if len(sys.argv) > 1 else "steering_output"
+STEPS = 24
+CANDIDATE_AMPLITUDES = [0.1, 0.3, 0.5, 0.8]
+
+connection = LiveConnection()
+log: list[str] = []
+
+
+def controller() -> None:
+    """The 'engineer': sweeps amplitudes, watching the live metric."""
+    responses = {}
+    for amp in CANDIDATE_AMPLITUDES:
+        connection.submit_update(jet_amplitude=amp)
+        # Wait for a few steps of metric under this setting.
+        seen = len(connection.metrics())
+        while len(connection.metrics()) < seen + 4:
+            frame = connection.wait_for_frame(min_step=0, timeout=0.5)
+            _ = frame  # live imagery available while waiting
+        window = [v for _, _, v in connection.metrics()[-3:]]
+        responses[amp] = float(np.mean(window))
+        log.append(f"controller: amp={amp:.1f} -> response {responses[amp]:.4f}")
+    best = max(responses, key=responses.get)
+    log.append(f"controller: locking in amp={best:.1f}")
+    connection.submit_update(jet_amplitude=best)
+
+
+def simulation(comm):
+    sim = PhastaSimulation(comm, (12, 8, 8), jet_amplitude=0.0)
+    slicer = PhastaSliceRender(resolution=(160, 40), output_dir=OUTPUT_DIR)
+    steering = SteeringAnalysis(
+        connection,
+        parameters={"jet_amplitude": lambda v: setattr(sim, "jet_amplitude", v)},
+        metric=lambda data: float(np.abs(sim.vel_w).max()),
+        frame_source=slicer,
+    )
+    bridge = Bridge(comm, sim.make_data_adaptor())
+    bridge.add_analysis(slicer)
+    bridge.add_analysis(steering)
+    bridge.initialize()
+    sim.run(STEPS, bridge)
+    bridge.finalize()
+    return sim.jet_amplitude if comm.rank == 0 else None
+
+
+def main():
+    ctrl = threading.Thread(target=controller, name="engineer")
+    ctrl.start()
+    final_amp = run_spmd(2, simulation)[0]
+    connection.request_stop()
+    ctrl.join(timeout=10)
+
+    print("live steering session (controller thread vs running simulation):\n")
+    for line in log:
+        print(f"  {line}")
+    print(f"\nsimulation finished with jet_amplitude = {final_amp:.1f}")
+    print(f"live slice frames in {OUTPUT_DIR}/")
+    metrics = connection.metrics()
+    print(f"{len(metrics)} metric samples published during the run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim so `pip install -e .` works without network/wheel."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,90 @@
+"""In situ analysis methods (Sec. 3.3).
+
+Each method exists in two forms, mirroring the paper's *Original* (direct
+subroutine call) vs SENSEI-instrumented configurations:
+
+- plain functions / classes operating on arrays + a communicator
+  (:func:`parallel_histogram`, :class:`AutocorrelationState`), callable
+  straight from a simulation loop; and
+- :class:`~repro.core.adaptors.AnalysisAdaptor` wrappers
+  (:class:`HistogramAnalysis`, :class:`AutocorrelationAnalysis`,
+  :class:`SliceExtractAnalysis`) that consume a SENSEI data adaptor.
+
+The pairing is what makes the Fig. 3/4 comparison (subroutine-called
+autocorrelation vs SENSEI ``Autocorrelation``) an apples-to-apples test.
+"""
+
+from repro.analysis.histogram import (
+    Histogram,
+    HistogramAnalysis,
+    local_histogram,
+    parallel_histogram,
+)
+from repro.analysis.autocorrelation import (
+    AutocorrelationAnalysis,
+    AutocorrelationResult,
+    AutocorrelationState,
+)
+from repro.analysis.slice_ import (
+    SliceExtractAnalysis,
+    SlicePlane,
+    extract_axis_slice,
+    gather_global_slice,
+)
+from repro.analysis.fields import (
+    gradient_3d,
+    gradient_magnitude,
+    vorticity_magnitude,
+)
+from repro.analysis.statistics import (
+    Moments,
+    StatisticsAnalysis,
+    parallel_moments,
+    quantiles_from_histogram,
+)
+from repro.analysis.reduction import (
+    ReducedExtractAnalysis,
+    dequantize,
+    downsample_mean,
+    quantize,
+    read_reduced_extract,
+)
+from repro.analysis.indexing import BitmapIndex, BitmapIndexAnalysis, query_step
+from repro.analysis.hybrid import (
+    HybridHistogramAnalysis,
+    ThreadedAutocorrelationState,
+)
+from repro.analysis.probe import ObliqueSliceAnalysis, probe_points
+
+__all__ = [
+    "Histogram",
+    "HistogramAnalysis",
+    "local_histogram",
+    "parallel_histogram",
+    "AutocorrelationState",
+    "AutocorrelationAnalysis",
+    "AutocorrelationResult",
+    "SlicePlane",
+    "extract_axis_slice",
+    "gather_global_slice",
+    "SliceExtractAnalysis",
+    "gradient_3d",
+    "gradient_magnitude",
+    "vorticity_magnitude",
+    "Moments",
+    "StatisticsAnalysis",
+    "parallel_moments",
+    "quantiles_from_histogram",
+    "ReducedExtractAnalysis",
+    "downsample_mean",
+    "quantize",
+    "dequantize",
+    "read_reduced_extract",
+    "BitmapIndex",
+    "BitmapIndexAnalysis",
+    "query_step",
+    "HybridHistogramAnalysis",
+    "ThreadedAutocorrelationState",
+    "ObliqueSliceAnalysis",
+    "probe_points",
+]

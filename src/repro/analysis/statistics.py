@@ -1,0 +1,185 @@
+"""In situ descriptive statistics.
+
+The paper's SDMAV umbrella explicitly includes "a method for statistical
+analysis" as the canonical in situ method class (Sec. 2.1).  This module
+provides the standard one: single-pass distributed moments (count, mean,
+variance, skewness proxy via third moment, min/max) merged across ranks
+with Chan et al.'s pairwise update -- numerically stable and
+decomposition-invariant -- plus histogram-backed quantile estimation.
+
+Storage is O(1) per rank, the same only-extra-storage-is-constant property
+the paper highlights for the histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
+from repro.core.configurable import register_analysis
+from repro.data import Association
+from repro.mpi import ReduceOp
+from repro.util.timers import timed
+
+
+@dataclass
+class Moments:
+    """Running moments of a (distributed) sample."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0  # sum of squared deviations
+    m3: float = 0.0  # sum of cubed deviations
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "Moments":
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        if flat.size == 0:
+            return cls()
+        mean = float(flat.mean())
+        d = flat - mean
+        return cls(
+            count=int(flat.size),
+            mean=mean,
+            m2=float((d * d).sum()),
+            m3=float((d * d * d).sum()),
+            vmin=float(flat.min()),
+            vmax=float(flat.max()),
+        )
+
+    def merge(self, other: "Moments") -> "Moments":
+        """Chan-style pairwise combination; exact for disjoint samples."""
+        if other.count == 0:
+            return Moments(**vars(self))
+        if self.count == 0:
+            return Moments(**vars(other))
+        n1, n2 = self.count, other.count
+        n = n1 + n2
+        delta = other.mean - self.mean
+        mean = self.mean + delta * n2 / n
+        m2 = self.m2 + other.m2 + delta * delta * n1 * n2 / n
+        m3 = (
+            self.m3
+            + other.m3
+            + delta**3 * n1 * n2 * (n1 - n2) / (n * n)
+            + 3.0 * delta * (n1 * other.m2 - n2 * self.m2) / n
+        )
+        return Moments(
+            count=n,
+            mean=mean,
+            m2=m2,
+            m3=m3,
+            vmin=min(self.vmin, other.vmin),
+            vmax=max(self.vmax, other.vmax),
+        )
+
+    @property
+    def variance(self) -> float:
+        """Population variance."""
+        return self.m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    @property
+    def skewness(self) -> float:
+        if self.count == 0 or self.m2 == 0:
+            return 0.0
+        return float(np.sqrt(self.count) * self.m3 / self.m2**1.5)
+
+
+_MERGE = ReduceOp("moments_merge", lambda a, b: a.merge(b))
+
+
+def parallel_moments(comm, values: np.ndarray) -> Moments:
+    """Distributed moments of per-rank values; identical on every rank."""
+    return comm.allreduce(Moments.from_values(values), _MERGE)
+
+
+def quantiles_from_histogram(
+    edges: np.ndarray, counts: np.ndarray, qs: list[float]
+) -> list[float]:
+    """Quantile estimates by linear interpolation within histogram bins."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("histogram is empty")
+    cum = np.concatenate([[0.0], np.cumsum(counts)]) / total
+    out = []
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        idx = int(np.searchsorted(cum, q, side="right") - 1)
+        idx = min(max(idx, 0), len(counts) - 1)
+        lo, hi = cum[idx], cum[idx + 1]
+        frac = 0.0 if hi == lo else (q - lo) / (hi - lo)
+        out.append(float(edges[idx] + frac * (edges[idx + 1] - edges[idx])))
+    return out
+
+
+@register_analysis("statistics")
+def _make_statistics(config) -> "StatisticsAnalysis":
+    return StatisticsAnalysis(
+        array=config.get("array", "data"),
+        quantiles=[float(q) for q in config.get_list("quantiles", [0.25, 0.5, 0.75])],
+        bins=config.get_int("bins", 128),
+    )
+
+
+class StatisticsAnalysis(AnalysisAdaptor):
+    """Per-step distributed moments + histogram-backed quantiles."""
+
+    def __init__(
+        self,
+        array: str = "data",
+        quantiles: list[float] | None = None,
+        bins: int = 128,
+        association: Association = Association.POINT,
+    ) -> None:
+        super().__init__()
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        self.array = array
+        self.quantiles = quantiles if quantiles is not None else [0.25, 0.5, 0.75]
+        self.bins = bins
+        self.association = association
+        self._comm = None
+        self.history: list[dict] = []
+
+    def initialize(self, comm) -> None:
+        self._comm = comm
+
+    def execute(self, data: DataAdaptor) -> bool:
+        from repro.analysis.histogram import parallel_histogram
+        from repro.data import GHOST_ARRAY_NAME
+
+        values = data.get_array(self.association, self.array).values
+        if GHOST_ARRAY_NAME in data.available_arrays(self.association):
+            levels = data.get_array(self.association, GHOST_ARRAY_NAME).values
+            values = values[levels == 0]
+        with timed(self.timers, "statistics::execute"):
+            moments = parallel_moments(self._comm, values)
+            hist = parallel_histogram(self._comm, values, self.bins)
+        if self._comm.rank == 0:
+            qs = quantiles_from_histogram(hist.edges, hist.counts, self.quantiles)
+            self.history.append(
+                {
+                    "step": data.get_data_time_step(),
+                    "count": moments.count,
+                    "mean": moments.mean,
+                    "std": moments.std,
+                    "skewness": moments.skewness,
+                    "min": moments.vmin,
+                    "max": moments.vmax,
+                    "quantiles": dict(zip(self.quantiles, qs)),
+                }
+            )
+        return True
+
+    def finalize(self) -> list[dict] | None:
+        return self.history or None

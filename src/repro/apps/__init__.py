@@ -1,0 +1,35 @@
+"""Science-application proxies (Sec. 4.2).
+
+Three SENSEI-instrumented codes matching the paper's application studies:
+
+- :mod:`phasta_proxy` -- PHASTA stand-in: an explicit flow proxy on an
+  unstructured tetrahedral mesh; nodal coordinates and fields map zero-copy,
+  connectivity is a full copy (the exact split Sec. 4.2.1 describes); its
+  Catalyst output is a velocity-magnitude-colored slice PNG whose zlib
+  compression is the measured bottleneck.
+- :mod:`avf_leslie_proxy` -- AVF-LESLIE stand-in: a compressible
+  finite-volume Euler solver (Rusanov fluxes, RK2) on a Cartesian grid
+  simulating a temporally evolving planar mixing layer, with vorticity
+  magnitude derived in the adaptor and a Libsim session of 3 isosurfaces +
+  3 slice planes run every 5th step.
+- :mod:`nyx_proxy` -- Nyx stand-in: particle-mesh gravity (CIC deposit,
+  slab-decomposed parallel FFT Poisson solve with an all-to-all transpose,
+  leapfrog) whose density grid is exposed with vtkGhostLevels blanking for
+  in situ histogram + Catalyst slice.
+
+The proxies are not the production codes; they are cost- and
+structure-faithful substitutes (see DESIGN.md's substitution table) whose
+purpose is to exercise the identical SENSEI code paths the paper measures.
+"""
+
+from repro.apps.avf_leslie_proxy import AVFLeslieSimulation, mixing_layer_state
+from repro.apps.phasta_proxy import PhastaSimulation, PhastaSliceRender
+from repro.apps.nyx_proxy import NyxSimulation
+
+__all__ = [
+    "AVFLeslieSimulation",
+    "mixing_layer_state",
+    "PhastaSimulation",
+    "PhastaSliceRender",
+    "NyxSimulation",
+]

@@ -1,0 +1,69 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+::
+
+    python -m repro list              # available experiments
+    python -m repro run fig10         # one experiment's rows
+    python -m repro run all           # everything
+    python -m repro run table1 fig17  # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import available_experiments, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation tables/figures of 'Performance "
+            "Analysis, Design Considerations, and Applications of "
+            "Extreme-scale In Situ Infrastructures' (SC'16) from the "
+            "calibrated performance model."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (see 'list'), or 'all'",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    catalog = available_experiments()
+    if args.command == "list":
+        width = max(len(n) for n in catalog)
+        for name, desc in catalog.items():
+            print(f"{name:<{width}}  {desc}")
+        return 0
+
+    names = list(catalog) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in catalog]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(catalog)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        header, rows = run_experiment(name)
+        print(f"\n=== {name}: {catalog[name]} ===")
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(row)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

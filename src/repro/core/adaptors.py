@@ -1,0 +1,116 @@
+"""SENSEI data- and analysis-adaptor APIs.
+
+The API shapes follow SENSEI's C++ interface (``sensei::DataAdaptor``,
+``sensei::AnalysisAdaptor``) closely enough that the paper's instrumentation
+pattern translates directly: a simulation implements a concrete
+``DataAdaptor`` once; any number of analyses/infrastructures implement
+``AnalysisAdaptor`` and consume it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.data import Association, DataArray, Dataset
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi import Communicator
+    from repro.util import MemoryTracker, TimerRegistry
+
+
+class DataAdaptor(abc.ABC):
+    """Maps one simulation's data structures onto the generic data model.
+
+    Contract (mirrors SENSEI):
+
+    - :meth:`get_mesh` returns the local mesh; with ``structure_only=True``
+      only topology/geometry metadata is needed (no attribute mapping);
+    - :meth:`get_array` maps one named attribute array on demand -- the lazy
+      hook that keeps no-analysis overhead near zero;
+    - :meth:`release_data` drops any per-step mappings after all analyses
+      have executed; the next step re-maps from fresh simulation pointers
+      ("the pointers to the ... grid data structures are passed every time
+      in situ is accessed", Sec. 4.2.1).
+    """
+
+    def __init__(self, comm: "Communicator") -> None:
+        self.comm = comm
+        self._time = 0.0
+        self._time_step = 0
+        #: Optional per-rank memory accounting sink for adaptor-side
+        #: allocations (e.g. ghost byte arrays, copied connectivity).
+        self.memory: "MemoryTracker | None" = None
+
+    # -- simulation-side per-step state ------------------------------------
+    def set_data_time(self, time: float, step: int) -> None:
+        self._time = float(time)
+        self._time_step = int(step)
+
+    def get_data_time(self) -> float:
+        return self._time
+
+    def get_data_time_step(self) -> int:
+        return self._time_step
+
+    # -- analysis-side access ------------------------------------------------
+    @abc.abstractmethod
+    def get_mesh(self, structure_only: bool = False) -> Dataset:
+        """The local mesh block (lazily constructed)."""
+
+    @abc.abstractmethod
+    def get_array(self, association: Association, name: str) -> DataArray:
+        """Map one attribute array onto the data model (lazily, zero-copy
+        where the layout allows)."""
+
+    @abc.abstractmethod
+    def get_number_of_arrays(self, association: Association) -> int:
+        """How many attribute arrays the simulation can expose."""
+
+    @abc.abstractmethod
+    def get_array_name(self, association: Association, index: int) -> str:
+        """Name of the ``index``-th exposable attribute array."""
+
+    def available_arrays(self, association: Association) -> list[str]:
+        return [
+            self.get_array_name(association, i)
+            for i in range(self.get_number_of_arrays(association))
+        ]
+
+    def release_data(self) -> None:
+        """Drop per-step mappings.  Default: nothing retained."""
+
+
+class AnalysisAdaptor(abc.ABC):
+    """An in situ method or infrastructure endpoint.
+
+    ``execute`` returns ``True`` to let the simulation continue (computational
+    steering hooks use ``False`` to request a stop).  ``initialize`` /
+    ``finalize`` bracket the run and are where one-time costs (Fig. 5) live.
+    """
+
+    def __init__(self) -> None:
+        self.timers: "TimerRegistry | None" = None
+        self.memory: "MemoryTracker | None" = None
+
+    def set_instrumentation(
+        self, timers: "TimerRegistry | None", memory: "MemoryTracker | None"
+    ) -> None:
+        """Attach this rank's timing/memory instrumentation sinks."""
+        self.timers = timers
+        self.memory = memory
+
+    def initialize(self, comm: "Communicator") -> None:
+        """One-time setup (default none)."""
+
+    @abc.abstractmethod
+    def execute(self, data: DataAdaptor) -> bool:
+        """Run the analysis against the current step's data."""
+
+    def finalize(self) -> object | None:
+        """One-time teardown; may return a result object (root rank)."""
+        return None
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,94 @@
+"""The in situ bridge: assembles data adaptor + analyses, drives each step.
+
+"A typical bridge implementation will initialize the data adaptor and one or
+more analysis adaptors during the initialization phase of the simulation;
+then for each time step pass the current simulation data arrays and any other
+metadata to the data adaptor and call execute on the analysis adaptors."
+(Sec. 3.2.)
+
+The bridge is also the measurement point: it times ``initialize``,
+``analysis::initialize``, per-step per-analysis ``execute``, and
+``finalize`` -- exactly the phase breakdown of Figs. 5-6.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
+from repro.util.timers import TimerRegistry, timed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi import Communicator
+    from repro.util import MemoryTracker
+
+
+class Bridge:
+    """Drives a set of :class:`AnalysisAdaptor` against one :class:`DataAdaptor`."""
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        data_adaptor: DataAdaptor,
+        timers: TimerRegistry | None = None,
+        memory: "MemoryTracker | None" = None,
+    ) -> None:
+        self.comm = comm
+        self.data_adaptor = data_adaptor
+        self.timers = timers if timers is not None else TimerRegistry()
+        self.memory = memory
+        self._analyses: list[AnalysisAdaptor] = []
+        self._initialized = False
+        self._finalized = False
+
+    @property
+    def analyses(self) -> list[AnalysisAdaptor]:
+        return list(self._analyses)
+
+    def add_analysis(self, analysis: AnalysisAdaptor) -> None:
+        if self._initialized:
+            raise RuntimeError("cannot add analyses after initialize()")
+        self._analyses.append(analysis)
+
+    def initialize(self) -> None:
+        """One-time analysis setup ("analysis initialize" in Fig. 5)."""
+        if self._initialized:
+            raise RuntimeError("bridge already initialized")
+        self._initialized = True
+        with timed(self.timers, "sensei::initialize"):
+            for a in self._analyses:
+                a.set_instrumentation(self.timers, self.memory)
+                with timed(self.timers, f"sensei::initialize::{a.name}"):
+                    a.initialize(self.comm)
+
+    def execute(self, time: float, step: int) -> bool:
+        """Hand the current step to every analysis; returns False if any
+        analysis requests the simulation stop."""
+        if not self._initialized:
+            raise RuntimeError("bridge.execute() before initialize()")
+        if self._finalized:
+            raise RuntimeError("bridge.execute() after finalize()")
+        self.data_adaptor.set_data_time(time, step)
+        keep_going = True
+        with timed(self.timers, "sensei::execute"):
+            for a in self._analyses:
+                with timed(self.timers, f"sensei::execute::{a.name}"):
+                    keep_going = a.execute(self.data_adaptor) and keep_going
+        self.data_adaptor.release_data()
+        return keep_going
+
+    def finalize(self) -> dict[str, object]:
+        """Finalize every analysis; returns their results keyed by name."""
+        if not self._initialized:
+            raise RuntimeError("bridge.finalize() before initialize()")
+        if self._finalized:
+            raise RuntimeError("bridge already finalized")
+        self._finalized = True
+        results: dict[str, object] = {}
+        with timed(self.timers, "sensei::finalize"):
+            for a in self._analyses:
+                with timed(self.timers, f"sensei::finalize::{a.name}"):
+                    out = a.finalize()
+                if out is not None:
+                    results[a.name] = out
+        return results

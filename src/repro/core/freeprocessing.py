@@ -1,0 +1,133 @@
+"""Freeprocessing-style I/O interception (Sec. 2.2.5).
+
+"Freeprocessing has the potential to completely avoid instrumenting a
+simulation code while enabling in situ computation.  This is done by
+intercepting the results being written to disk and using that to construct
+the grids and fields.  This has the potential for multiple data copies
+though as the simulation may make an initial data copy to prepare it for a
+specific file format and then another data copy from the file format to the
+in situ processing engine."
+
+This module implements that design so its cost can be compared against the
+SENSEI zero-copy path: :class:`InterceptingWriter` wraps the repository's
+file-per-process write routine; when a simulation "writes", the bytes it
+would have put on disk are (optionally) persisted and then *parsed back*
+into the data model -- the serialize + deserialize double copy the paper
+describes -- and handed to analysis adaptors through a synthetic data
+adaptor.  No simulation instrumentation is needed beyond already writing
+output.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
+from repro.data import Association, DataArray, ImageData
+from repro.storage import vtk_io
+from repro.util.timers import TimerRegistry, timed
+
+
+class InterceptedDataAdaptor(DataAdaptor):
+    """Data adaptor over a mesh reconstructed from intercepted bytes."""
+
+    def __init__(self, comm, mesh: ImageData, field: str) -> None:
+        super().__init__(comm)
+        self._mesh = mesh
+        self._field = field
+
+    def get_mesh(self, structure_only: bool = False) -> ImageData:
+        return self._mesh
+
+    def get_array(self, association: Association, name: str) -> DataArray:
+        return self._mesh.get_array(association, name)
+
+    def get_number_of_arrays(self, association: Association) -> int:
+        return self._mesh.num_arrays(association)
+
+    def get_array_name(self, association: Association, index: int) -> str:
+        return self._mesh.array_names(association)[index]
+
+
+class InterceptingWriter:
+    """Intercepts block writes and drives analyses from the written bytes.
+
+    Parameters
+    ----------
+    comm:
+        The simulation's communicator.
+    analyses:
+        Analysis adaptors to run on every intercepted step.
+    passthrough:
+        When True the data still reaches disk (interception is a tee);
+        when False the write is swallowed (pure in situ conversion of an
+        existing I/O path).
+
+    The copy accounting (``bytes_serialized`` / ``bytes_deserialized``)
+    makes the double-copy cost measurable: each intercepted step first
+    serializes the simulation array into the file format, then parses the
+    format back into a fresh owning array for the analyses.
+    """
+
+    def __init__(self, comm, analyses: list[AnalysisAdaptor], passthrough: bool = False,
+                 timers: TimerRegistry | None = None) -> None:
+        self.comm = comm
+        self.analyses = list(analyses)
+        self.passthrough = passthrough
+        self.timers = timers if timers is not None else TimerRegistry()
+        self.bytes_serialized = 0
+        self.bytes_deserialized = 0
+        self._initialized = False
+
+    def _ensure_initialized(self) -> None:
+        if not self._initialized:
+            self._initialized = True
+            for a in self.analyses:
+                a.set_instrumentation(self.timers, None)
+                a.initialize(self.comm)
+
+    def write_timestep(
+        self, directory, step: int, time: float, image: ImageData, field: str
+    ) -> None:
+        """Drop-in replacement for :func:`repro.storage.write_timestep`."""
+        self._ensure_initialized()
+        with timed(self.timers, "freeprocessing::serialize"):
+            # Copy #1: the simulation's array serialized into file bytes.
+            buffer = io.BytesIO()
+            arr = image.get_array(Association.POINT, field)
+            data = np.ascontiguousarray(arr.values.reshape(image.dims))
+            buffer.write(data.tobytes())
+            blob = buffer.getvalue()
+            self.bytes_serialized += len(blob)
+        if self.passthrough:
+            with timed(self.timers, "freeprocessing::passthrough"):
+                vtk_io.write_timestep(self.comm, directory, step, time, image, field)
+        with timed(self.timers, "freeprocessing::deserialize"):
+            # Copy #2: bytes parsed back into a fresh owning array.
+            parsed = np.frombuffer(blob, dtype=arr.dtype).reshape(image.dims).copy()
+            self.bytes_deserialized += parsed.nbytes
+            mesh = ImageData(
+                image.extent,
+                origin=image.origin,
+                spacing=image.spacing,
+                whole_extent=image.whole_extent,
+            )
+            mesh.add_point_array(DataArray.from_numpy(field, parsed))
+        adaptor = InterceptedDataAdaptor(self.comm, mesh, field)
+        adaptor.set_data_time(time, step)
+        with timed(self.timers, "freeprocessing::analysis"):
+            for a in self.analyses:
+                a.execute(adaptor)
+
+    def finalize(self) -> dict[str, object]:
+        results: dict[str, object] = {
+            "bytes_serialized": self.bytes_serialized,
+            "bytes_deserialized": self.bytes_deserialized,
+        }
+        for a in self.analyses:
+            out = a.finalize()
+            if out is not None:
+                results[a.name] = out
+        return results

@@ -1,0 +1,170 @@
+"""Multicomponent data arrays with explicit memory layout.
+
+The key enabler of the paper's "negligible overhead" result (Figs. 3-4) is
+that the data model can describe simulation memory *in place*: a
+structure-of-arrays (SoA) field is a list of per-component 1-D arrays (each
+possibly a strided view into simulation storage), an array-of-structures
+(AoS) field is one interleaved ``(n, ncomp)`` array.  :class:`DataArray`
+records which layout it wraps and whether any copy was taken, so tests and
+the memory tracker can verify the zero-copy invariant mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+
+class Layout(enum.Enum):
+    """Memory layout of a multicomponent array."""
+
+    SOA = "structure_of_arrays"
+    AOS = "array_of_structures"
+
+
+SOA = Layout.SOA
+AOS = Layout.AOS
+
+
+class DataArray:
+    """A named, possibly multicomponent array over points or cells.
+
+    Construct via :meth:`from_soa`, :meth:`from_aos`, or :meth:`from_numpy`.
+    The constructor never copies; conversion methods (:meth:`as_aos`,
+    :meth:`as_soa`) copy only when the requested layout differs from the
+    stored one, and say so.
+    """
+
+    def __init__(self, name: str, components: list[np.ndarray], layout: Layout):
+        if not components:
+            raise ValueError("DataArray requires at least one component")
+        n = components[0].shape[0]
+        for c in components:
+            if c.ndim != 1:
+                raise ValueError("components must be 1-D arrays (or views)")
+            if c.shape[0] != n:
+                raise ValueError("components must have equal length")
+        self.name = name
+        self._components = components
+        self.layout = layout
+        #: Original interleaved array when built via :meth:`from_aos`; lets
+        #: :meth:`as_aos` hand back the simulation's buffer without a copy.
+        self._aos_base: np.ndarray | None = None
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_soa(cls, name: str, components: Sequence[np.ndarray]) -> "DataArray":
+        """Wrap per-component arrays (zero-copy; views allowed)."""
+        return cls(name, [np.asarray(c) for c in components], SOA)
+
+    @classmethod
+    def from_aos(cls, name: str, interleaved: np.ndarray) -> "DataArray":
+        """Wrap an interleaved ``(n, ncomp)`` array (zero-copy column views)."""
+        a = np.asarray(interleaved)
+        if a.ndim == 1:
+            a = a[:, None]
+        if a.ndim != 2:
+            raise ValueError("AoS array must be 1-D or 2-D")
+        arr = cls(name, [a[:, i] for i in range(a.shape[1])], AOS)
+        arr._aos_base = a
+        return arr
+
+    @classmethod
+    def from_numpy(cls, name: str, array: np.ndarray) -> "DataArray":
+        """Wrap a scalar field of any shape as a flat single-component view.
+
+        ``array`` is flattened with ``reshape(-1)``, which is a view for
+        contiguous input -- the common case for simulation grids.
+        """
+        a = np.asarray(array)
+        flat = a.reshape(-1)
+        return cls(name, [flat], SOA)
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        return len(self._components)
+
+    @property
+    def num_tuples(self) -> int:
+        return self._components[0].shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._components[0].dtype
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self._components)
+
+    def is_zero_copy_of(self, owner: np.ndarray) -> bool:
+        """True if every component shares memory with ``owner``."""
+        return all(np.shares_memory(c, owner) for c in self._components)
+
+    @property
+    def owns_data(self) -> bool:
+        """True if any component owns its buffer.
+
+        Caveat: wrapping a simulation's *owning* array by reference also
+        reports True (numpy cannot distinguish shared references from
+        copies); use :meth:`is_zero_copy_of` against the simulation buffer
+        for a definitive zero-copy check.
+        """
+        return any(c.base is None and c.flags.owndata for c in self._components)
+
+    # -- access ---------------------------------------------------------------
+    def component(self, i: int) -> np.ndarray:
+        return self._components[i]
+
+    @property
+    def values(self) -> np.ndarray:
+        """The single component of a scalar array."""
+        if self.num_components != 1:
+            raise ValueError(
+                f"{self.name!r} has {self.num_components} components; "
+                "use component(i) or as_aos()"
+            )
+        return self._components[0]
+
+    def as_aos(self) -> np.ndarray:
+        """Interleaved ``(n, ncomp)`` array; copies iff stored as SoA."""
+        if self._aos_base is not None:
+            return self._aos_base
+        return np.column_stack(self._components)
+
+    def as_soa(self) -> list[np.ndarray]:
+        """Per-component arrays; never copies (columns are views for AoS)."""
+        return list(self._components)
+
+    def magnitude(self) -> np.ndarray:
+        """Euclidean norm across components (e.g. velocity magnitude)."""
+        if self.num_components == 1:
+            return np.abs(self._components[0])
+        sq = self._components[0].astype(np.float64) ** 2
+        for c in self._components[1:]:
+            sq += c.astype(np.float64) ** 2
+        return np.sqrt(sq)
+
+    def deep_copy(self, name: str | None = None) -> "DataArray":
+        """An owning copy (the ablation counterpart to zero-copy mapping)."""
+        return DataArray(
+            name or self.name, [c.copy() for c in self._components], self.layout
+        )
+
+    def min(self) -> float:
+        return float(min(c.min() for c in self._components))
+
+    def max(self) -> float:
+        return float(max(c.max() for c in self._components))
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataArray({self.name!r}, n={self.num_tuples}, "
+            f"ncomp={self.num_components}, layout={self.layout.name}, "
+            f"dtype={self.dtype})"
+        )

@@ -1,0 +1,54 @@
+"""Multiblock datasets: one block per rank (or per BoxLib box)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.data.dataset import Dataset
+
+
+class MultiBlockDataset:
+    """An ordered collection of blocks, some possibly absent on this rank.
+
+    In the paper's codes each MPI rank contributes its local block(s) to a
+    global multiblock structure; remote blocks appear as ``None`` locally.
+    ``num_blocks`` is the *global* count; iteration yields local blocks.
+    """
+
+    def __init__(self, num_blocks: int) -> None:
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        self._blocks: dict[int, Dataset] = {}
+        self.num_blocks = num_blocks
+
+    def set_block(self, index: int, block: Dataset) -> None:
+        if not 0 <= index < self.num_blocks:
+            raise IndexError(f"block index {index} out of range")
+        self._blocks[index] = block
+
+    def get_block(self, index: int) -> Dataset | None:
+        if not 0 <= index < self.num_blocks:
+            raise IndexError(f"block index {index} out of range")
+        return self._blocks.get(index)
+
+    def local_blocks(self) -> Iterator[tuple[int, Dataset]]:
+        """Yield ``(global_index, block)`` for blocks resident on this rank."""
+        for idx in sorted(self._blocks):
+            yield idx, self._blocks[idx]
+
+    @property
+    def num_local_blocks(self) -> int:
+        return len(self._blocks)
+
+    def local_num_points(self) -> int:
+        return sum(b.num_points for _, b in self.local_blocks())
+
+    def local_num_cells(self) -> int:
+        return sum(b.num_cells for _, b in self.local_blocks())
+
+    def __iter__(self) -> Iterator[Dataset]:
+        for _, b in self.local_blocks():
+            yield b
+
+    def __len__(self) -> int:
+        return self.num_blocks

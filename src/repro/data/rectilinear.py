@@ -1,0 +1,84 @@
+"""Rectilinear grids: Nyx's mesh type (axis-aligned boxes, per-axis coords)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.util.decomp import Extent
+
+
+class RectilinearGrid(Dataset):
+    """Axis-aligned grid with explicit per-axis coordinate arrays.
+
+    Coordinate arrays are held by reference (zero-copy).  Nyx represents its
+    single-level domain "as ... axis-aligned rectilinear boxes" (Sec. 4.2.3);
+    each box becomes one ``RectilinearGrid`` with an extent in global index
+    space.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
+        extent: Extent | None = None,
+    ) -> None:
+        super().__init__()
+        self.x = np.asarray(x, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.float64)
+        self.z = np.asarray(z, dtype=np.float64)
+        for name, c in (("x", self.x), ("y", self.y), ("z", self.z)):
+            if c.ndim != 1 or c.size < 1:
+                raise ValueError(f"{name} coordinates must be a non-empty 1-D array")
+            if c.size > 1 and not np.all(np.diff(c) > 0):
+                raise ValueError(f"{name} coordinates must be strictly increasing")
+        if extent is None:
+            extent = Extent(0, self.x.size - 1, 0, self.y.size - 1, 0, self.z.size - 1)
+        if extent.shape != (self.x.size, self.y.size, self.z.size):
+            raise ValueError("extent shape must match coordinate array lengths")
+        self.extent = extent
+
+    @property
+    def dims(self) -> tuple[int, int, int]:
+        return (self.x.size, self.y.size, self.z.size)
+
+    @property
+    def num_points(self) -> int:
+        return self.x.size * self.y.size * self.z.size
+
+    @property
+    def num_cells(self) -> int:
+        return (
+            max(self.x.size - 1, 0)
+            * max(self.y.size - 1, 0)
+            * max(self.z.size - 1, 0)
+        )
+
+    def bounds(self) -> tuple[float, float, float, float, float, float]:
+        return (
+            float(self.x[0]),
+            float(self.x[-1]),
+            float(self.y[0]),
+            float(self.y[-1]),
+            float(self.z[0]),
+            float(self.z[-1]),
+        )
+
+    def cell_field_3d(self, name: str) -> np.ndarray:
+        """A scalar cell array reshaped to cell dims -- a view."""
+        from repro.data.dataset import Association
+
+        arr = self.get_array(Association.CELL, name)
+        return arr.values.reshape(
+            (self.x.size - 1, self.y.size - 1, self.z.size - 1)
+        )
+
+    def point_field_3d(self, name: str) -> np.ndarray:
+        from repro.data.dataset import Association
+
+        arr = self.get_array(Association.POINT, name)
+        return arr.values.reshape(self.dims)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectilinearGrid(dims={self.dims})"

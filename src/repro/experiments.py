@@ -1,0 +1,319 @@
+"""Experiment registry: every paper table/figure as a callable that returns
+its rows.
+
+Used by both the benchmark harness and the CLI (``python -m repro``), so
+the series the paper reports can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.perf.apps_model import (
+    AVFRun,
+    NYX_RUNS,
+    PHASTA_RUNS,
+    avf_periteration_series,
+    avf_strong_scaling,
+    nyx_scaling,
+    phasta_table2,
+)
+from repro.perf.iomodel import IOModel
+from repro.perf.machine import CORI
+from repro.perf.miniapp_model import SCALES, MiniappConfig, MiniappModel
+
+ExperimentFn = Callable[[], tuple[str, list[str]]]
+
+_REGISTRY: dict[str, tuple[str, ExperimentFn]] = {}
+
+
+def experiment(name: str, description: str):
+    def deco(fn: ExperimentFn) -> ExperimentFn:
+        _REGISTRY[name] = (description, fn)
+        return fn
+
+    return deco
+
+
+def available_experiments() -> dict[str, str]:
+    return {name: desc for name, (desc, _) in sorted(_REGISTRY.items())}
+
+
+def run_experiment(name: str) -> tuple[str, list[str]]:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name][1]()
+
+
+def _models():
+    return {s: MiniappModel(MiniappConfig.at_scale(s)) for s in ("1K", "6K", "45K")}
+
+
+@experiment("fig03", "time to solution, Original vs SENSEI Autocorrelation")
+def _fig03():
+    rows = []
+    for scale, m in _models().items():
+        ac = m.autocorrelation()
+        t_orig = (
+            m.original().time_to_solution(m.cfg.steps)
+            + m.cfg.steps * (ac.analysis_per_step - m.sensei_overhead_step)
+            + ac.finalize
+        )
+        t_sensei = ac.time_to_solution(m.cfg.steps)
+        rows.append(f"{scale:<5}{m.cfg.cores:>8}{t_orig:>14.2f}{t_sensei:>14.2f}")
+    return (
+        f"{'scale':<5}{'cores':>8}{'original(s)':>14}{'sensei(s)':>14}",
+        rows,
+    )
+
+
+@experiment("fig04", "memory footprint, Original vs SENSEI Autocorrelation")
+def _fig04():
+    rows = []
+    for scale, m in _models().items():
+        hw = m.autocorrelation().high_water_bytes_per_rank * m.cfg.cores
+        rows.append(f"{scale:<5}{m.cfg.cores:>8}{hw / 1e12:>14.3f}{hw / 1e12:>14.3f}")
+    return (
+        f"{'scale':<5}{'cores':>8}{'original(TB)':>14}{'sensei(TB)':>14}",
+        rows,
+    )
+
+
+@experiment("fig05", "one-time costs per configuration")
+def _fig05():
+    rows = []
+    for scale, m in _models().items():
+        for b in m.all_insitu_configs():
+            rows.append(
+                f"{scale:<5}{b.config_name:<17}{b.sim_initialize:>12.3f}"
+                f"{b.analysis_initialize:>12.3f}{b.finalize:>12.3f}"
+            )
+    return (
+        f"{'scale':<5}{'configuration':<17}{'sim init(s)':>12}"
+        f"{'ana init(s)':>12}{'finalize(s)':>12}",
+        rows,
+    )
+
+
+@experiment("fig06", "per-timestep costs per configuration")
+def _fig06():
+    rows = []
+    for scale, m in _models().items():
+        for b in m.all_insitu_configs():
+            rows.append(
+                f"{scale:<5}{b.config_name:<17}{b.sim_per_step:>12.4f}"
+                f"{b.analysis_per_step:>17.4f}"
+            )
+    return (
+        f"{'scale':<5}{'configuration':<17}{'sim/step(s)':>12}"
+        f"{'analysis/step(s)':>17}",
+        rows,
+    )
+
+
+@experiment("fig07", "memory overhead: startup vs high-water")
+def _fig07():
+    rows = []
+    for scale, m in _models().items():
+        for b in m.all_insitu_configs():
+            rows.append(
+                f"{scale:<5}{b.config_name:<17}"
+                f"{b.startup_bytes_per_rank * m.cfg.cores / 1e12:>13.3f}"
+                f"{b.high_water_bytes_per_rank * m.cfg.cores / 1e12:>15.3f}"
+            )
+    return (
+        f"{'scale':<5}{'configuration':<17}{'startup(TB)':>13}{'high-water(TB)':>15}",
+        rows,
+    )
+
+
+@experiment("fig08", "ADIOS FlexPath writer costs (histogram endpoint)")
+def _fig08():
+    rows = []
+    for scale, m in _models().items():
+        fp = m.flexpath("histogram")
+        rows.append(
+            f"{scale:<5}{fp['writer_initialize']:>14.3f}"
+            f"{fp['adios_advance']:>12.6f}{fp['adios_analysis']:>13.6f}"
+        )
+    return (
+        f"{'scale':<5}{'initialize(s)':>14}{'advance(s)':>12}{'analysis(s)':>13}",
+        rows,
+    )
+
+
+@experiment("fig09", "ADIOS FlexPath endpoint costs per analysis")
+def _fig09():
+    rows = []
+    for scale, m in _models().items():
+        for analysis in ("histogram", "autocorrelation", "catalyst-slice"):
+            fp = m.flexpath(analysis)
+            rows.append(
+                f"{scale:<5}{analysis:<17}{fp['endpoint_initialize']:>15.3f}"
+                f"{fp['endpoint_analysis']:>17.4f}"
+            )
+    return (
+        f"{'scale':<5}{'analysis':<17}{'reader init(s)':>15}"
+        f"{'analysis/step(s)':>17}",
+        rows,
+    )
+
+
+@experiment("fig10", "per-step write costs vs the simulation")
+def _fig10():
+    rows = []
+    for scale, m in _models().items():
+        b = m.baseline_with_writes()
+        rows.append(
+            f"{scale:<5}{b.sim_per_step:>12.3f}{b.write_per_step:>14.3f}"
+            f"{b.write_per_step / b.sim_per_step:>10.1f}"
+        )
+    return (
+        f"{'scale':<5}{'sim/step(s)':>12}{'write/step(s)':>14}{'write/sim':>10}",
+        rows,
+    )
+
+
+@experiment("table1", "one-step write: VTK multi-file vs MPI-IO")
+def _table1():
+    rows = []
+    for scale, m in _models().items():
+        wp = m.write_paths()
+        rows.append(
+            f"{scale:<5}{SCALES[scale][0]:>8}{wp['size_gb']:>10.1f}"
+            f"{wp['vtk_io']:>12.2f}{wp['mpi_io']:>11.2f}"
+        )
+    return (
+        f"{'scale':<5}{'cores':>8}{'size(GB)':>10}{'VTK I/O(s)':>12}{'MPI-IO(s)':>11}",
+        rows,
+    )
+
+
+@experiment("fig11", "post hoc read/process/write at 10% cores")
+def _fig11():
+    rows = []
+    for scale, m in _models().items():
+        for analysis in ("histogram", "autocorrelation", "slice"):
+            ph = m.posthoc(analysis)
+            rows.append(
+                f"{scale:<5}{analysis:<17}{ph['readers']:>8}{ph['read']:>10.1f}"
+                f"{ph['process']:>11.2f}{ph['write']:>10.2f}"
+            )
+    return (
+        f"{'scale':<5}{'analysis':<17}{'readers':>8}{'read(s)':>10}"
+        f"{'process(s)':>11}{'write(s)':>10}",
+        rows,
+    )
+
+
+@experiment("fig12", "in situ vs post hoc time to solution")
+def _fig12():
+    matching = {
+        "histogram": "histogram",
+        "autocorrelation": "autocorrelation",
+        "catalyst-slice": "slice",
+        "libsim-slice": "slice",
+    }
+    rows = []
+    for scale, m in _models().items():
+        for b in m.all_insitu_configs():
+            if b.config_name not in matching:
+                continue
+            insitu = b.time_to_solution(m.cfg.steps)
+            writes = m.cfg.steps * m.io.file_per_process_write(
+                m.cfg.cores, m.cfg.step_bytes
+            )
+            ph = m.posthoc(matching[b.config_name])
+            posthoc = (
+                m.cfg.steps * b.sim_per_step
+                + writes
+                + ph["read"]
+                + ph["process"]
+                + ph["write"]
+            )
+            rows.append(
+                f"{scale:<5}{b.config_name:<17}{insitu:>12.1f}{posthoc:>13.1f}"
+            )
+    return (
+        f"{'scale':<5}{'configuration':<17}{'in situ(s)':>12}{'post hoc(s)':>13}",
+        rows,
+    )
+
+
+@experiment("table2", "PHASTA in situ execution times (Mira)")
+def _table2():
+    rows = []
+    for name, run in PHASTA_RUNS.items():
+        r = phasta_table2(run)
+        rows.append(
+            f"{name:<5}{r.onetime_cost:>11.2f}{r.insitu_per_step:>15.2f}"
+            f"{r.total_time:>10.0f}{r.percent_insitu:>10.1f}"
+        )
+    return (
+        f"{'run':<5}{'onetime(s)':>11}{'insitu/step(s)':>15}{'total(s)':>10}"
+        f"{'% in situ':>10}",
+        rows,
+    )
+
+
+@experiment("fig15", "AVF-LESLIE strong scaling with Libsim (Titan)")
+def _fig15():
+    rows = []
+    for cores in (8_192, 16_384, 32_768, 65_536, 131_072):
+        r = avf_strong_scaling(AVFRun(cores=cores))
+        rows.append(
+            f"{cores:>8}{r.solver_per_step:>15.2f}{r.libsim_per_invocation:>16.2f}"
+            f"{r.avg_added_per_step:>18.2f}"
+        )
+    return (
+        f"{'cores':>8}{'solver/step(s)':>15}{'libsim/invoc(s)':>16}"
+        f"{'avg added/step(s)':>18}",
+        rows,
+    )
+
+
+@experiment("fig16", "AVF per-iteration SENSEI cost at 65K")
+def _fig16():
+    series = avf_periteration_series(AVFRun(cores=65_536, steps=20))
+    rows = [
+        f"step {i:>3}: {t:7.2f}s" + ("  <- Libsim" if i % 5 == 0 else "")
+        for i, t in enumerate(series, start=1)
+    ]
+    return ("per-iteration SENSEI cost at 65K (s)", rows)
+
+
+@experiment("fig17", "Nyx scaling with in situ histogram and slice (Cori)")
+def _fig17():
+    rows = []
+    for run in NYX_RUNS:
+        r = nyx_scaling(run)
+        rows.append(
+            f"{r.grid:>5}^3{r.cores:>8}{r.solver_per_step:>15.1f}"
+            f"{r.histogram_per_step:>13.3f}{r.slice_per_step:>14.3f}"
+            f"{r.plotfile_write:>12.0f}"
+        )
+    return (
+        f"{'grid':>6}{'cores':>8}{'solver/step(s)':>15}{'hist/step(s)':>13}"
+        f"{'slice/step(s)':>14}{'plotfile(s)':>12}",
+        rows,
+    )
+
+
+@experiment("burstbuffer", "burst-buffer staging vs direct writes (extension)")
+def _burstbuffer():
+    io = IOModel(CORI)
+    rows = []
+    for scale, m in _models().items():
+        direct = io.file_per_process_write(m.cfg.cores, m.cfg.step_bytes)
+        bb, keeps_up = io.burst_buffer_write(
+            m.cfg.cores, m.cfg.step_bytes, step_interval=m.sim_step
+        )
+        rows.append(
+            f"{scale:<5}{direct:>11.3f}{bb:>16.4f}{str(keeps_up):>9}"
+        )
+    return (
+        f"{'scale':<5}{'direct(s)':>11}{'burst buffer(s)':>16}{'drains?':>9}",
+        rows,
+    )

@@ -1,0 +1,20 @@
+"""Explorable data products (Sec. 2.2.4).
+
+The paper surveys the line of work on "computing 'explorable data products'
+that are much smaller than the full-resolution data, and that support
+varying degrees of post hoc interactive exploration", citing Cinema
+(Ahrens et al. 2014) -- and notes that "methods that produce 'explorable
+extracts' will be run in situ, most likely using one of the infrastructures
+we study".  This package closes that loop: a Cinema-style image-database
+extract generated *in situ* through a SENSEI analysis adaptor, plus the
+post hoc reader that lets a user re-explore the run by parameter instead of
+re-running the simulation.
+"""
+
+from repro.extracts.cinema import (
+    CinemaDatabase,
+    CinemaExtractAnalysis,
+    CameraParameter,
+)
+
+__all__ = ["CinemaDatabase", "CinemaExtractAnalysis", "CameraParameter"]

@@ -1,0 +1,209 @@
+"""Cinema-style in situ image databases.
+
+The Cinema approach (Ahrens et al., SC'14) renders, at simulation time, a
+sweep of images over visualization parameters (camera, slice position,
+isovalue, ...) and stores them with a queryable index; post hoc
+"exploration" is then image lookup, not data processing.  The extract is
+orders of magnitude smaller than the raw field yet preserves the chosen
+degrees of interactive freedom -- the paper's answer to the a-priori-
+parameters limitation of in situ (Sec. 2.2.4).
+
+:class:`CinemaExtractAnalysis` is a SENSEI analysis adaptor producing a
+database over (time step) x (slice axis position sweep): each step it
+renders one pseudocolored slice per sweep value through the standard
+extract/rasterize/composite pipeline and appends to the store.
+:class:`CinemaDatabase` reads the index back and answers nearest-parameter
+queries, the Cinema viewer's core operation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.slice_ import SlicePlane, extract_axis_slice, _inplane_axes
+from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
+from repro.data import Association, ImageData
+from repro.mpi import MAX, MIN
+from repro.render.colormap import VIRIDIS, Colormap
+from repro.render.compositing import binary_swap
+from repro.render.png import encode_png
+from repro.render.rasterize import blank_image, rasterize_slice
+from repro.util.timers import timed
+
+INDEX_NAME = "index.json"
+
+
+@dataclass(frozen=True)
+class CameraParameter:
+    """One sweep dimension: a slice plane position along an axis."""
+
+    axis: int
+    indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.axis not in (0, 1, 2):
+            raise ValueError("axis must be 0, 1, or 2")
+        if not self.indices:
+            raise ValueError("sweep requires at least one index")
+
+
+class CinemaExtractAnalysis(AnalysisAdaptor):
+    """Renders a (step x slice-position) image database in situ."""
+
+    def __init__(
+        self,
+        output_dir,
+        sweep: CameraParameter,
+        array: str = "data",
+        resolution: tuple[int, int] = (128, 128),
+        colormap: Colormap = VIRIDIS,
+        frequency: int = 1,
+    ) -> None:
+        super().__init__()
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self.output_dir = str(output_dir)
+        self.sweep = sweep
+        self.array = array
+        self.resolution = resolution
+        self.colormap = colormap
+        self.frequency = frequency
+        self._comm = None
+        self._entries: list[dict] = []
+        self.bytes_written = 0
+
+    def initialize(self, comm) -> None:
+        self._comm = comm
+        if comm.rank == 0:
+            os.makedirs(os.path.join(self.output_dir, "images"), exist_ok=True)
+        comm.barrier()
+
+    def _render_one(self, data: DataAdaptor, mesh: ImageData, index: int):
+        plane = SlicePlane(self.sweep.axis, index)
+        ext = mesh.extent
+        lo = (ext.i0, ext.j0, ext.k0)[plane.axis]
+        hi = (ext.i1, ext.j1, ext.k1)[plane.axis]
+        frag = None
+        if lo <= plane.index <= hi:
+            if not mesh.has_array(Association.POINT, self.array):
+                mesh.add_array(
+                    Association.POINT, data.get_array(Association.POINT, self.array)
+                )
+            frag = extract_axis_slice(mesh, self.array, plane)
+        local_min = float(frag.values.min()) if frag is not None else float("inf")
+        local_max = float(frag.values.max()) if frag is not None else float("-inf")
+        vmin = self._comm.allreduce(local_min, MIN)
+        vmax = self._comm.allreduce(local_max, MAX)
+        w, h = self.resolution
+        if frag is None:
+            partial = blank_image(w, h)
+        else:
+            u, v = _inplane_axes(plane.axis)
+            whole = mesh.whole_extent
+            wb = [(whole.i0, whole.i1), (whole.j0, whole.j1), (whole.k0, whole.k1)]
+            partial = rasterize_slice(
+                frag.values, frag.extent2d, (*wb[u], *wb[v]), w, h,
+                colormap=self.colormap, vmin=vmin, vmax=vmax,
+            )
+        return binary_swap(self._comm, partial), (vmin, vmax)
+
+    def execute(self, data: DataAdaptor) -> bool:
+        step = data.get_data_time_step()
+        if step % self.frequency != 0:
+            return True
+        mesh = data.get_mesh(structure_only=True)
+        if not isinstance(mesh, ImageData):
+            raise TypeError("Cinema extract requires an ImageData mesh")
+        with timed(self.timers, "cinema::render"):
+            for index in self.sweep.indices:
+                final, (vmin, vmax) = self._render_one(data, mesh, index)
+                if final is not None:  # root rank
+                    name = f"step{step:06d}_ax{self.sweep.axis}_i{index:04d}.png"
+                    blob = encode_png(final.rgb)
+                    with open(
+                        os.path.join(self.output_dir, "images", name), "wb"
+                    ) as fh:
+                        fh.write(blob)
+                    self.bytes_written += len(blob)
+                    self._entries.append(
+                        {
+                            "step": step,
+                            "time": data.get_data_time(),
+                            "axis": self.sweep.axis,
+                            "index": index,
+                            "vmin": vmin,
+                            "vmax": vmax,
+                            "file": f"images/{name}",
+                        }
+                    )
+        return True
+
+    def finalize(self) -> dict | None:
+        if self._comm is None or self._comm.rank != 0:
+            return None
+        index = {
+            "type": "cinema_image_database",
+            "version": 1,
+            "parameters": {
+                "step": sorted({e["step"] for e in self._entries}),
+                "axis": [self.sweep.axis],
+                "index": list(self.sweep.indices),
+            },
+            "resolution": list(self.resolution),
+            "array": self.array,
+            "entries": self._entries,
+        }
+        with open(os.path.join(self.output_dir, INDEX_NAME), "w") as fh:
+            json.dump(index, fh)
+        return {
+            "images": len(self._entries),
+            "bytes": self.bytes_written,
+        }
+
+
+class CinemaDatabase:
+    """Post hoc reader: nearest-parameter image lookup."""
+
+    def __init__(self, path) -> None:
+        self.root = str(path)
+        with open(os.path.join(self.root, INDEX_NAME), "r", encoding="utf-8") as fh:
+            self.index = json.load(fh)
+        if self.index.get("type") != "cinema_image_database":
+            raise ValueError("not a cinema image database")
+        self.entries = self.index["entries"]
+        if not self.entries:
+            raise ValueError("empty cinema database")
+
+    @property
+    def steps(self) -> list[int]:
+        return self.index["parameters"]["step"]
+
+    @property
+    def slice_indices(self) -> list[int]:
+        return self.index["parameters"]["index"]
+
+    def query(self, step: int, index: int) -> dict:
+        """The entry nearest the requested (step, slice index)."""
+        return min(
+            self.entries,
+            key=lambda e: (abs(e["step"] - step), abs(e["index"] - index)),
+        )
+
+    def load_image(self, entry: dict) -> np.ndarray:
+        from repro.render.png import decode_png
+
+        with open(os.path.join(self.root, entry["file"]), "rb") as fh:
+            return decode_png(fh.read())
+
+    def total_bytes(self) -> int:
+        return sum(
+            os.path.getsize(os.path.join(self.root, e["file"])) for e in self.entries
+        )
+
+    def compression_vs_field(self, field_bytes: int) -> float:
+        """How much smaller the explorable extract is than the raw data."""
+        return field_bytes / max(self.total_bytes(), 1)

@@ -1,0 +1,324 @@
+"""ADIOS emulation: BP-file output and the FlexPath staging transport.
+
+"Unlike the other methods discussed so far, the ADIOS FlexPath approach
+leads to having two different executables ... the writer/simulation, and
+... the endpoint/analysis" (Sec. 4.1.4).  Here the two executables are two
+groups of ranks inside one SPMD job (:func:`run_flexpath_job` splits the
+world), matching the paper's co-scheduled deployment where the endpoint
+shares the writer's nodes.
+
+Writer-side timing mirrors Fig. 8: ``adios::advance`` covers the metadata
+update between writer and reader; ``adios::analysis`` covers data
+transmission *plus any blocking time if the reader is not yet ready* (flow
+control is an explicit ready-token handshake).  "The current FlexPath
+transport does not yet use zero-copy", so the writer stages an explicit
+copy of every array it ships -- a measured cost, and the reason the in
+transit Catalyst-slice carries the ~50% penalty the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
+from repro.data import Association, DataArray, ImageData, MultiBlockDataset
+from repro.mpi import Communicator, run_spmd
+from repro.storage.bp import BPWriter
+from repro.util.decomp import Extent
+from repro.util.timers import TimerRegistry, timed
+
+# Message tags of the staging protocol.
+_TAG_ADVANCE = 1001  # writer -> endpoint: step metadata
+_TAG_READY = 1002  # endpoint -> writer: flow-control token
+_TAG_DATA = 1003  # writer -> endpoint: array payload
+_TAG_EOS = 1004  # writer -> endpoint: end of stream
+
+
+def endpoint_for_writer(writer: int, n_writers: int, n_endpoints: int) -> int:
+    """Static writer->endpoint assignment (contiguous blocks)."""
+    if not 0 <= writer < n_writers:
+        raise ValueError("writer rank out of range")
+    return writer * n_endpoints // n_writers
+
+
+def writers_for_endpoint(endpoint: int, n_writers: int, n_endpoints: int) -> list[int]:
+    return [
+        w
+        for w in range(n_writers)
+        if endpoint_for_writer(w, n_writers, n_endpoints) == endpoint
+    ]
+
+
+class AdiosBPAdaptor(AnalysisAdaptor):
+    """File-mode ADIOS: every execute writes the step into a BP container."""
+
+    def __init__(self, path, array: str = "data") -> None:
+        super().__init__()
+        self.path = path
+        self.array = array
+        self._writer: BPWriter | None = None
+        self._comm = None
+        self.steps_written = 0
+
+    def initialize(self, comm) -> None:
+        self._comm = comm
+
+    def execute(self, data: DataAdaptor) -> bool:
+        mesh = data.get_mesh(structure_only=True)
+        if not isinstance(mesh, ImageData):
+            raise TypeError("AdiosBPAdaptor requires an ImageData mesh")
+        if self._writer is None:
+            w = mesh.whole_extent
+            self._writer = BPWriter(
+                self._comm, self.path, (w.shape[0], w.shape[1], w.shape[2])
+            )
+        arr = data.get_array(Association.POINT, self.array)
+        with timed(self.timers, "adios::write"):
+            self._writer.begin_step()
+            self._writer.write(self.array, arr.values.reshape(mesh.dims), mesh.extent)
+            self._writer.end_step()
+        self.steps_written += 1
+        return True
+
+    def finalize(self):
+        if self._writer is not None:
+            self._writer.close()
+        return {"steps_written": self.steps_written}
+
+
+class AdiosFlexPathWriter(AnalysisAdaptor):
+    """Writer-side FlexPath adaptor: ships each step to its endpoint rank.
+
+    ``world`` is the communicator spanning writers + endpoints; ``execute``
+    runs on the writer group.  One endpoint world-rank is assigned per
+    writer by :func:`endpoint_for_writer`.
+    """
+
+    def __init__(
+        self,
+        world: Communicator,
+        writer_rank: int,
+        n_writers: int,
+        n_endpoints: int,
+        array: str = "data",
+    ) -> None:
+        super().__init__()
+        self.world = world
+        self.writer_rank = writer_rank
+        self.n_writers = n_writers
+        self.n_endpoints = n_endpoints
+        self.array = array
+        # Endpoint world ranks sit after the writers.
+        self.endpoint_world_rank = n_writers + endpoint_for_writer(
+            writer_rank, n_writers, n_endpoints
+        )
+        self.steps_sent = 0
+
+    def execute(self, data: DataAdaptor) -> bool:
+        mesh = data.get_mesh(structure_only=True)
+        if not isinstance(mesh, ImageData):
+            raise TypeError("FlexPath writer requires an ImageData mesh")
+        arr = data.get_array(Association.POINT, self.array)
+        with timed(self.timers, "adios::advance"):
+            meta = {
+                "writer": self.writer_rank,
+                "step": data.get_data_time_step(),
+                "time": data.get_data_time(),
+                "extent": mesh.extent,
+                "whole_extent": mesh.whole_extent,
+                "array": self.array,
+            }
+            self.world.send(meta, dest=self.endpoint_world_rank, tag=_TAG_ADVANCE)
+        with timed(self.timers, "adios::analysis"):
+            # Flow control: block until the endpoint is ready for this step.
+            self.world.recv(source=self.endpoint_world_rank, tag=_TAG_READY)
+            # FlexPath is not zero-copy: stage an explicit buffer copy.
+            staged = np.array(arr.values.reshape(mesh.dims), copy=True)
+            if self.memory is not None:
+                self.memory.allocate(staged.nbytes, label="adios::staging")
+            self.world.send(staged, dest=self.endpoint_world_rank, tag=_TAG_DATA)
+            if self.memory is not None:
+                self.memory.free(staged.nbytes, label="adios::staging")
+        self.steps_sent += 1
+        return True
+
+    def finalize(self):
+        self.world.send(None, dest=self.endpoint_world_rank, tag=_TAG_EOS)
+        return {"steps_sent": self.steps_sent}
+
+
+class EndpointDataAdaptor(DataAdaptor):
+    """The endpoint's SENSEI data adaptor over received blocks.
+
+    ``get_mesh`` exposes a :class:`MultiBlockDataset` (one block per
+    *global* writer; local blocks are the ones this endpoint received) and
+    ``get_array`` a concatenation of the local blocks' values in writer
+    order -- sufficient for histogram/autocorrelation, while Catalyst
+    consumes the per-block arrays through the multiblock mesh.
+    """
+
+    def __init__(self, comm, n_writers: int) -> None:
+        super().__init__(comm)
+        self.n_writers = n_writers
+        self._blocks: dict[int, tuple[ImageData, np.ndarray, str]] = {}
+
+    def ingest(
+        self,
+        writer: int,
+        extent: Extent,
+        whole_extent: Extent,
+        array_name: str,
+        values: np.ndarray,
+    ) -> None:
+        img = ImageData(extent, whole_extent=whole_extent)
+        img.add_point_array(DataArray.from_numpy(array_name, values))
+        self._blocks[writer] = (img, values, array_name)
+
+    def get_mesh(self, structure_only: bool = False) -> MultiBlockDataset:
+        mb = MultiBlockDataset(self.n_writers)
+        for writer, (img, _, _) in self._blocks.items():
+            mb.set_block(writer, img)
+        return mb
+
+    def get_array(self, association: Association, name: str) -> DataArray:
+        if association is not Association.POINT:
+            raise KeyError("endpoint adaptor exposes point data only")
+        values = [
+            v.reshape(-1)
+            for w, (_, v, n) in sorted(self._blocks.items())
+            if n == name
+        ]
+        if not values:
+            raise KeyError(f"no received array named {name!r}")
+        return DataArray.from_numpy(name, np.concatenate(values))
+
+    def get_number_of_arrays(self, association: Association) -> int:
+        if association is not Association.POINT:
+            return 0
+        return len({n for (_, _, n) in self._blocks.values()})
+
+    def get_array_name(self, association: Association, index: int) -> str:
+        names = sorted({n for (_, _, n) in self._blocks.values()})
+        return names[index]
+
+    def release_data(self) -> None:
+        self._blocks.clear()
+
+
+@dataclass
+class FlexPathJobResult:
+    """Per-rank results of a staged job: writer returns + endpoint returns."""
+
+    writer_results: list[Any]
+    endpoint_results: list[Any]
+
+
+def run_endpoint(
+    world: Communicator,
+    endpoint_comm: Communicator,
+    endpoint_rank: int,
+    n_writers: int,
+    n_endpoints: int,
+    analysis: AnalysisAdaptor,
+    timers: TimerRegistry | None = None,
+) -> Any:
+    """The endpoint executable's main loop.
+
+    Receives steps from the assigned writers until every one signals EOS,
+    driving ``analysis`` once per completed step.  The reader initialization
+    (Fig. 9's expensive phase on Cori) is the analysis initialize plus the
+    first-contact handshakes.
+    """
+    timers = timers if timers is not None else TimerRegistry()
+    my_writers = writers_for_endpoint(endpoint_rank, n_writers, n_endpoints)
+    with timed(timers, "endpoint::initialize"):
+        analysis.set_instrumentation(timers, analysis.memory)
+        analysis.initialize(endpoint_comm)
+    adaptor = EndpointDataAdaptor(endpoint_comm, n_writers)
+    open_writers = set(my_writers)
+    # Issue one flow-control token per writer up front.
+    for w in open_writers:
+        world.send(None, dest=w, tag=_TAG_READY)
+    while open_writers:
+        step_time = 0.0
+        step_idx = 0
+        with timed(timers, "endpoint::receive"):
+            got_any = False
+            for w in sorted(open_writers):
+                payload, src, tag = world.recv_with_status(source=w)
+                if tag == _TAG_EOS:
+                    open_writers.discard(w)
+                    continue
+                assert tag == _TAG_ADVANCE, f"protocol violation: tag {tag}"
+                meta = payload
+                data = world.recv(source=w, tag=_TAG_DATA)
+                adaptor.ingest(
+                    meta["writer"], meta["extent"], meta["whole_extent"],
+                    meta["array"], data,
+                )
+                step_time = meta["time"]
+                step_idx = meta["step"]
+                got_any = True
+        if not got_any:
+            break
+        adaptor.set_data_time(step_time, step_idx)
+        with timed(timers, "endpoint::analysis"):
+            analysis.execute(adaptor)
+        adaptor.release_data()
+        # Release the next flow-control token to writers still streaming.
+        for w in sorted(open_writers):
+            world.send(None, dest=w, tag=_TAG_READY)
+    with timed(timers, "endpoint::finalize"):
+        result = analysis.finalize()
+    return {"result": result, "timers": timers.as_dict()}
+
+
+def run_flexpath_job(
+    n_writers: int,
+    n_endpoints: int,
+    writer_program: Callable[[Communicator, AdiosFlexPathWriter], Any],
+    analysis_factory: Callable[[Communicator], AnalysisAdaptor],
+    array: str = "data",
+    timeout: float = 120.0,
+) -> FlexPathJobResult:
+    """Run a complete staged job: writers + endpoint in one SPMD world.
+
+    ``writer_program(sim_comm, writer_adaptor)`` must drive the simulation
+    and a bridge containing ``writer_adaptor`` (and call the bridge's
+    finalize, which sends EOS).  ``analysis_factory(endpoint_comm)`` builds
+    the analysis the endpoint hosts.
+    """
+    if n_writers <= 0 or n_endpoints <= 0:
+        raise ValueError("writer and endpoint counts must be positive")
+    if n_endpoints > n_writers:
+        # An endpoint with no writers would never execute its (collective)
+        # analysis while its peers do, deadlocking the endpoint group.
+        raise ValueError("n_endpoints must not exceed n_writers")
+
+    total = n_writers + n_endpoints
+
+    def job(world: Communicator):
+        is_writer = world.rank < n_writers
+        group = world.split(color=0 if is_writer else 1)
+        if is_writer:
+            writer = AdiosFlexPathWriter(
+                world, group.rank, n_writers, n_endpoints, array=array
+            )
+            return ("writer", writer_program(group, writer))
+        endpoint_rank = world.rank - n_writers
+        analysis = analysis_factory(group)
+        return (
+            "endpoint",
+            run_endpoint(
+                world, group, endpoint_rank, n_writers, n_endpoints, analysis
+            ),
+        )
+
+    results = run_spmd(total, job, timeout=timeout)
+    return FlexPathJobResult(
+        writer_results=[r for kind, r in results if kind == "writer"],
+        endpoint_results=[r for kind, r in results if kind == "endpoint"],
+    )

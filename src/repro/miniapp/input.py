@@ -1,0 +1,86 @@
+"""Oscillator input files: parse on root, broadcast to all ranks.
+
+"The oscillator parameters are specified as the input, which is read and
+broadcast from the root process."  (Sec. 3.3.)
+
+File format (one oscillator per line, ``#`` comments)::
+
+    # kind   x    y    z    radius  omega   [zeta]
+    damped   0.3  0.3  0.5  0.2     6.2832  0.1
+    periodic 0.6  0.2  0.7  0.1     12.566
+"""
+
+from __future__ import annotations
+
+from repro.miniapp.oscillator import Oscillator, OscillatorKind
+
+
+class OscillatorInputError(ValueError):
+    """Malformed oscillator input file."""
+
+
+def parse_oscillators(text: str) -> list[Oscillator]:
+    """Parse oscillator definitions from input text."""
+    oscillators: list[Oscillator] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) not in (6, 7):
+            raise OscillatorInputError(
+                f"line {lineno}: expected 6 or 7 fields, got {len(fields)}"
+            )
+        try:
+            kind = OscillatorKind(fields[0].lower())
+        except ValueError:
+            raise OscillatorInputError(
+                f"line {lineno}: unknown oscillator kind {fields[0]!r}"
+            ) from None
+        try:
+            x, y, z, radius, omega = (float(v) for v in fields[1:6])
+            zeta = float(fields[6]) if len(fields) == 7 else 0.0
+        except ValueError:
+            raise OscillatorInputError(
+                f"line {lineno}: non-numeric oscillator parameter"
+            ) from None
+        try:
+            oscillators.append(Oscillator(kind, (x, y, z), radius, omega, zeta))
+        except ValueError as exc:
+            raise OscillatorInputError(f"line {lineno}: {exc}") from None
+    if not oscillators:
+        raise OscillatorInputError("input defines no oscillators")
+    return oscillators
+
+
+def format_oscillators(oscillators: list[Oscillator]) -> str:
+    """Inverse of :func:`parse_oscillators` (for writing example inputs)."""
+    lines = ["# kind x y z radius omega [zeta]"]
+    for o in oscillators:
+        base = (
+            f"{o.kind.value} {o.center[0]:.17g} {o.center[1]:.17g} "
+            f"{o.center[2]:.17g} {o.radius:.17g} {o.omega:.17g}"
+        )
+        if o.kind is OscillatorKind.DAMPED:
+            base += f" {o.zeta:.17g}"
+        lines.append(base)
+    return "\n".join(lines) + "\n"
+
+
+def read_oscillators(comm, path) -> list[Oscillator]:
+    """Read the input file on rank 0 and broadcast the parsed oscillators.
+
+    Errors on the root are broadcast too, so every rank raises consistently
+    instead of rank 0 failing while others hang in the bcast.
+    """
+    payload: list[Oscillator] | OscillatorInputError | None = None
+    if comm.rank == 0:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = parse_oscillators(fh.read())
+        except (OSError, OscillatorInputError) as exc:
+            payload = OscillatorInputError(str(exc))
+    payload = comm.bcast(payload, root=0)
+    if isinstance(payload, OscillatorInputError):
+        raise payload
+    return payload

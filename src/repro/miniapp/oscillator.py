@@ -1,0 +1,88 @@
+"""Oscillator kinds and their space-time evaluation.
+
+Follows the SENSEI miniapp's oscillator semantics: each oscillator has a
+center, a Gaussian ``radius``, an angular frequency ``omega``, and (for the
+damped kind) a damping ratio ``zeta``:
+
+- ``periodic``:  ``cos(omega t)``
+- ``damped``:    underdamped harmonic response
+  ``exp(-zeta omega t) (cos(w_d t) + zeta/sqrt(1-zeta^2) sin(w_d t))`` with
+  ``w_d = omega sqrt(1 - zeta^2)``
+- ``decaying``:  pure exponential decay ``exp(-omega t)``
+
+The spatial footprint is a Gaussian ``exp(-|p - center|^2 / (2 radius^2))``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class OscillatorKind(enum.Enum):
+    PERIODIC = "periodic"
+    DAMPED = "damped"
+    DECAYING = "decaying"
+
+
+@dataclass(frozen=True)
+class Oscillator:
+    """One oscillator: kind, center, Gaussian radius, omega, zeta."""
+
+    kind: OscillatorKind
+    center: tuple[float, float, float]
+    radius: float
+    omega: float
+    zeta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("oscillator radius must be positive")
+        if self.omega <= 0:
+            raise ValueError("oscillator omega must be positive")
+        if self.kind is OscillatorKind.DAMPED and not 0.0 < self.zeta < 1.0:
+            raise ValueError("damped oscillator requires 0 < zeta < 1")
+
+    def time_value(self, t: float) -> float:
+        """The oscillator's (spatially unweighted) signal at time ``t``."""
+        if self.kind is OscillatorKind.PERIODIC:
+            return math.cos(self.omega * t)
+        if self.kind is OscillatorKind.DAMPED:
+            wd = self.omega * math.sqrt(1.0 - self.zeta * self.zeta)
+            decay = math.exp(-self.zeta * self.omega * t)
+            return decay * (
+                math.cos(wd * t)
+                + (self.zeta / math.sqrt(1.0 - self.zeta * self.zeta))
+                * math.sin(wd * t)
+            )
+        return math.exp(-self.omega * t)  # decaying
+
+    def gaussian(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray
+    ) -> np.ndarray:
+        """Gaussian spatial weight at broadcastable coordinate arrays."""
+        d2 = (
+            (x - self.center[0]) ** 2
+            + (y - self.center[1]) ** 2
+            + (z - self.center[2]) ** 2
+        )
+        return np.exp(-d2 / (2.0 * self.radius * self.radius))
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray, t: float
+    ) -> np.ndarray:
+        """Convolved contribution at time ``t``: ``time_value * gaussian``."""
+        return self.time_value(t) * self.gaussian(x, y, z)
+
+
+def default_oscillators() -> list[Oscillator]:
+    """The three-oscillator default input used by tests and examples,
+    patterned after SENSEI's ``sample.osc``."""
+    return [
+        Oscillator(OscillatorKind.DAMPED, (0.3, 0.3, 0.5), 0.2, 2.0 * math.pi, 0.1),
+        Oscillator(OscillatorKind.DECAYING, (0.7, 0.7, 0.3), 0.15, 3.0),
+        Oscillator(OscillatorKind.PERIODIC, (0.6, 0.2, 0.7), 0.1, 4.0 * math.pi),
+    ]

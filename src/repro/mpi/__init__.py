@@ -1,0 +1,44 @@
+"""Thread-backed simulated MPI runtime.
+
+The paper's experiments are MPI programs (miniapp in C++/MPI, PHASTA,
+AVF-LESLIE, Nyx).  This environment has no MPI implementation, so this
+package provides a faithful SPMD substrate: every simulated rank runs the
+*same program* in its own thread against a :class:`Communicator` that
+implements point-to-point messaging and the collectives the paper's codes
+rely on (barrier, bcast, reduce, allreduce, gather/allgather, scatter,
+alltoall, split).
+
+Semantics follow MPI closely where it matters for correctness studies:
+
+- collectives are synchronizing and must be called by every rank of the
+  communicator in the same order (violations deadlock, as in MPI; a watchdog
+  timeout in the launcher turns deadlocks into test failures);
+- reductions are performed in rank order, so results are deterministic and
+  reproducible run to run;
+- numpy payloads are transferred by reference between threads and copied at
+  the receiver boundary, emulating distinct address spaces.
+
+What this substrate intentionally does *not* reproduce is network cost at
+scale -- that is the job of :mod:`repro.perf`, which replays the same
+operation sequences through calibrated machine models.
+"""
+
+from repro.mpi.ops import MAX, MIN, PROD, SUM, ReduceOp
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, MPIError
+from repro.mpi.launcher import SPMDError, run_spmd
+from repro.mpi.halo import HaloExchanger
+
+__all__ = [
+    "HaloExchanger",
+    "Communicator",
+    "MPIError",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ReduceOp",
+    "SUM",
+    "MIN",
+    "MAX",
+    "PROD",
+    "run_spmd",
+    "SPMDError",
+]

@@ -1,0 +1,280 @@
+"""The simulated MPI communicator.
+
+Implementation notes
+--------------------
+
+Collectives use a *slot exchange*: each rank deposits its contribution into a
+shared, per-communicator slot array, a cyclic barrier releases everyone once
+all contributions are present, each rank reads what it needs, and a second
+barrier wait guarantees all reads complete before any rank's next collective
+reuses the slots.  Because SPMD programs call collectives in program order on
+every rank, two barrier phases per collective are sufficient -- the same
+two-phase discipline real cyclic-barrier collectives use.
+
+Point-to-point messaging uses one mailbox (list + condition variable) per
+receiving rank; ``recv`` blocks until a message matching ``(source, tag)``
+arrives.  Payloads that expose numpy buffers are copied on receive so ranks
+cannot alias each other's memory -- that would silently break the zero-copy
+accounting experiments.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.mpi.ops import MAX, MIN, SUM, ReduceOp
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Seconds a blocked collective/recv waits before declaring deadlock.  SPMD
+#: programs under test should never legitimately block this long.
+DEFAULT_TIMEOUT = 120.0
+
+
+class MPIError(RuntimeError):
+    """Raised for misuse of the communicator (mismatched calls, deadlock)."""
+
+
+class _Mailbox:
+    """Per-rank inbound message store with tag/source matching."""
+
+    def __init__(self) -> None:
+        self._messages: list[tuple[int, int, Any]] = []
+        self._cond = threading.Condition()
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> int | None:
+        for idx, (src, t, _) in enumerate(self._messages):
+            if (source == ANY_SOURCE or src == source) and (
+                tag == ANY_TAG or t == tag
+            ):
+                return idx
+        return None
+
+    def get(self, source: int, tag: int, timeout: float) -> tuple[int, int, Any]:
+        with self._cond:
+            idx = self._match(source, tag)
+            deadline = time.monotonic() + timeout
+            while idx is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise MPIError(
+                        f"recv(source={source}, tag={tag}) timed out: "
+                        "likely deadlock or missing send"
+                    )
+                self._cond.wait(remaining)
+                idx = self._match(source, tag)
+            return self._messages.pop(idx)
+
+
+class _Context:
+    """Shared state for one communicator: slots, barrier, mailboxes."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.slots: list[Any] = [None] * size
+        self.barrier = threading.Barrier(size)
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        # Serializes sub-communicator creation bookkeeping.
+        self.lock = threading.Lock()
+        self.split_results: dict[int, "_Context"] = {}
+
+
+def _copy_payload(payload: Any) -> Any:
+    """Copy numpy buffers crossing the simulated address-space boundary."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(_copy_payload(p) for p in payload)
+    if isinstance(payload, list):
+        return [_copy_payload(p) for p in payload]
+    if isinstance(payload, dict):
+        return {k: _copy_payload(v) for k, v in payload.items()}
+    return payload
+
+
+class Communicator:
+    """An MPI-like communicator bound to one simulated rank.
+
+    Unlike mpi4py, one Python object per (context, rank) pair: each rank
+    thread holds its own ``Communicator`` facade over the shared context.
+    """
+
+    def __init__(self, context: _Context, rank: int, timeout: float = DEFAULT_TIMEOUT):
+        self._ctx = context
+        self._rank = rank
+        self._timeout = timeout
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._ctx.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Communicator(rank={self._rank}, size={self.size})"
+
+    # -- point to point ----------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Eager, non-blocking-complete send (buffered semantics)."""
+        if not 0 <= dest < self.size:
+            raise MPIError(f"send dest {dest} out of range (size {self.size})")
+        self._ctx.mailboxes[dest].put(self._rank, tag, _copy_payload(payload))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        _, _, payload = self._ctx.mailboxes[self._rank].get(source, tag, self._timeout)
+        return payload
+
+    def recv_with_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        """Receive returning ``(payload, source, tag)``."""
+        src, t, payload = self._ctx.mailboxes[self._rank].get(
+            source, tag, self._timeout
+        )
+        return payload, src, t
+
+    def sendrecv(
+        self, payload: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = ANY_TAG
+    ) -> Any:
+        """Simultaneous exchange; safe because sends are buffered."""
+        self.send(payload, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives -------------------------------------------------------
+    def _sync(self) -> None:
+        try:
+            self._ctx.barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError(
+                "collective timed out: likely mismatched collective calls "
+                "across ranks (deadlock)"
+            ) from exc
+
+    def barrier(self) -> None:
+        self._sync()
+
+    def _exchange(self, value: Any) -> list[Any]:
+        """Deposit ``value``, return everyone's deposits.  Two-phase."""
+        self._ctx.slots[self._rank] = value
+        self._sync()
+        values = list(self._ctx.slots)
+        self._sync()
+        return values
+
+    def allgather(self, value: Any) -> list[Any]:
+        return [_copy_payload(v) for v in self._exchange(value)]
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        values = self._exchange(value)
+        if self._rank == root:
+            return [_copy_payload(v) for v in values]
+        return None
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        values = self._exchange(value if self._rank == root else None)
+        return _copy_payload(values[root])
+
+    def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                raise MPIError(
+                    "scatter at root requires a list with one entry per rank"
+                )
+        deposited = self._exchange(values if self._rank == root else None)
+        return _copy_payload(deposited[root][self._rank])
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        values = self._exchange(value)
+        if self._rank == root:
+            return op.reduce([_copy_payload(v) for v in values])
+        return None
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        values = self._exchange(value)
+        # Every rank folds in identical rank order => identical results.
+        return op.reduce([_copy_payload(v) for v in values])
+
+    def alltoall(self, values: list[Any]) -> list[Any]:
+        if len(values) != self.size:
+            raise MPIError("alltoall requires one entry per rank")
+        deposited = self._exchange(values)
+        return [_copy_payload(deposited[src][self._rank]) for src in range(self.size)]
+
+    def allreduce_minmax(self, value: float) -> tuple[float, float]:
+        """Fused min+max allreduce.
+
+        The histogram analysis performs "two reductions to determine the
+        minimum and maximum values on the grid" (Sec. 3.3); this helper keeps
+        that a single slot exchange while reporting both, and the perf model
+        still charges two reductions.
+        """
+        values = self._exchange(value)
+        return MIN.reduce(list(values)), MAX.reduce(list(values))
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``None``."""
+        values = self._exchange(value)
+        if self._rank == 0:
+            return None
+        return op.reduce([_copy_payload(v) for v in values[: self._rank]])
+
+    # -- communicator management -------------------------------------------
+    def split(self, color: int, key: int | None = None) -> "Communicator | None":
+        """Partition ranks by ``color``; order within a group by ``key``.
+
+        ``color < 0`` (MPI_UNDEFINED) yields ``None`` for that rank.
+        """
+        key = self._rank if key is None else key
+        triples = self._exchange((color, key, self._rank))
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for c, k, r in triples:
+            if c >= 0:
+                groups.setdefault(c, []).append((k, r))
+        my_group = sorted(groups.get(color, [])) if color >= 0 else []
+        # Lowest world-rank member of each group creates the shared context.
+        if color >= 0:
+            leader = min(r for _, r in my_group)
+            if self._rank == leader:
+                ctx = _Context(len(my_group))
+                with self._ctx.lock:
+                    self._ctx.split_results[leader] = ctx
+        self._sync()
+        result: Communicator | None = None
+        if color >= 0:
+            leader = min(r for _, r in my_group)
+            with self._ctx.lock:
+                ctx = self._ctx.split_results[leader]
+            new_rank = [r for _, r in my_group].index(self._rank)
+            result = Communicator(ctx, new_rank, timeout=self._timeout)
+        self._sync()
+        # Rank 0 clears before it can enter any subsequent collective's
+        # barrier, so the cleanup cannot race a later split's publish.
+        if self._rank == 0:
+            with self._ctx.lock:
+                self._ctx.split_results.clear()
+        return result
+
+    def dup(self) -> "Communicator":
+        """Duplicate: a fresh context with the same group."""
+        out = self.split(color=0, key=self._rank)
+        assert out is not None
+        return out
+
+    # -- convenience -------------------------------------------------------
+    def on_root(self, fn: Callable[[], Any], root: int = 0) -> Any:
+        """Run ``fn`` on ``root`` only and broadcast its result."""
+        value = fn() if self._rank == root else None
+        return self.bcast(value, root=root)

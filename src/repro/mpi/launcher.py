@@ -1,0 +1,93 @@
+"""SPMD launcher: ``mpiexec -n N`` for the thread-backed runtime.
+
+``run_spmd(nranks, program, ...)`` spawns one thread per rank, hands each a
+:class:`~repro.mpi.communicator.Communicator`, and collects per-rank return
+values.  Any rank raising aborts the whole job (remaining ranks are released
+by breaking the shared barrier), mirroring ``MPI_Abort`` semantics closely
+enough for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.mpi.communicator import DEFAULT_TIMEOUT, Communicator, _Context
+
+
+class SPMDError(RuntimeError):
+    """A rank of an SPMD program raised; carries per-rank tracebacks."""
+
+    def __init__(self, failures: dict[int, BaseException], tracebacks: dict[int, str]):
+        self.failures = failures
+        self.tracebacks = tracebacks
+        detail = "\n".join(
+            f"--- rank {rank} ---\n{tb}" for rank, tb in sorted(tracebacks.items())
+        )
+        super().__init__(
+            f"{len(failures)} rank(s) failed: {sorted(failures)}\n{detail}"
+        )
+
+
+def run_spmd(
+    nranks: int,
+    program: Callable[..., Any],
+    *args: Any,
+    timeout: float = DEFAULT_TIMEOUT,
+    rank_args: Sequence[tuple] | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``program(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+
+    Parameters
+    ----------
+    nranks:
+        World size.  Thread-backed, so keep it modest (tests use 2-32).
+    program:
+        The SPMD entry point; receives the rank's communicator first.
+    timeout:
+        Deadlock watchdog for blocked collectives/recvs, in seconds.
+    rank_args:
+        Optional per-rank extra positional arguments (length ``nranks``);
+        appended after ``args``.
+
+    Returns
+    -------
+    list with ``program``'s return value for each rank, in rank order.
+    """
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if rank_args is not None and len(rank_args) != nranks:
+        raise ValueError("rank_args must have one tuple per rank")
+
+    ctx = _Context(nranks)
+    results: list[Any] = [None] * nranks
+    failures: dict[int, BaseException] = {}
+    tracebacks: dict[int, str] = {}
+    lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = Communicator(ctx, rank, timeout=timeout)
+        extra = tuple(rank_args[rank]) if rank_args is not None else ()
+        try:
+            results[rank] = program(comm, *args, *extra, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with lock:
+                failures[rank] = exc
+                tracebacks[rank] = traceback.format_exc()
+            # Release peers blocked in collectives so the job terminates.
+            ctx.barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        raise SPMDError(failures, tracebacks)
+    return results

@@ -1,0 +1,290 @@
+"""Science-application models: PHASTA (Table 2), AVF-LESLIE (Figs. 15-16),
+Nyx (Fig. 17).
+
+Each model takes the paper's run configurations and produces the same rows
+the paper reports.  Solver rates are calibrated per code (they are full
+production solvers, orders of magnitude more expensive per element than the
+miniapp); the in situ terms reuse the same network/compositing/PNG models
+as the miniapp study -- that cross-model reuse is the point: the paper's
+claim is that "the in situ elements of those runs performed as predicted by
+the miniapplication results on Cori" (Sec. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perf.machine import MIRA, TITAN, CORI, MachineModel
+from repro.perf.network import NetworkModel
+
+
+# --------------------------------------------------------------------------
+# PHASTA (Sec. 4.2.1, Table 2)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhastaRun:
+    """One PHASTA run configuration (IS1/IS2/IS3)."""
+
+    name: str
+    elements: float
+    ranks: int
+    nodes: int
+    image: tuple[int, int]
+    steps: int
+    image_every: int = 2
+    machine: MachineModel = MIRA
+    #: Implicit-FEM solve cost per element per rank-step (s); depends on
+    #: ranks-per-core packing, so set per run from the paper's totals.
+    solver_rate: float = 600.0  # elements/s/rank
+
+
+#: The paper's three Mira runs.  Solver rates back out of Table 2's totals.
+PHASTA_RUNS = {
+    "IS1": PhastaRun("IS1", 1.28e9, 262_144, 4_092, (800, 200), 120, solver_rate=610.0),
+    "IS2": PhastaRun("IS2", 1.28e9, 262_144, 8_192, (2900, 725), 120, solver_rate=905.0),
+    "IS3": PhastaRun("IS3", 6.33e9, 1_048_576, 32_768, (2900, 725), 30, solver_rate=318.0),
+}
+
+
+@dataclass
+class PhastaResult:
+    name: str
+    onetime_cost: float
+    insitu_per_step: float
+    total_time: float
+    percent_insitu: float
+    png_time: float
+    composite_time: float
+
+
+def phasta_table2(
+    run: PhastaRun, compression: bool = True
+) -> PhastaResult:
+    """Model one Table 2 row.
+
+    The per-image in situ cost = slice extraction over the unstructured
+    mesh + hierarchical compositing + the *serial* rank-0 PNG encode, whose
+    zlib stage dominates for large images ("the ZLIB compression time in
+    generating the PNG file was the culprit").  ``compression=False``
+    reproduces the paper's skip-compression experiment (4.03 s -> 0.518 s
+    on the 8-process toy problem).
+    """
+    net = NetworkModel(run.machine)
+    w, h = run.image
+    image_bytes = w * h * 4
+    elems_per_rank = run.elements / run.ranks
+    # Extraction: ranks intersecting the slice walk their local cells.
+    extract = elems_per_rank / (run.machine.elem_rate * 2.0)
+    composite = net.binary_swap(run.ranks, image_bytes)
+    # Rank-0 serial stages: fixed pipeline bring-up (slow BG/Q serial core)
+    # plus rasterization proportional to pixel count plus the zlib encode.
+    pipeline_fixed = 1.0
+    render = (w * h) / 3.0e6
+    png = (
+        (w * h * 3) / run.machine.zlib_rate
+        if compression
+        else (w * h * 3) / 50.0e6  # store-mode PNG: a memcpy-rate pass
+    )
+    insitu_per_image = extract + composite + pipeline_fixed + render + png
+    # In situ runs every `image_every` steps; report per *in situ* step as
+    # the paper does (its "In Situ Compute per Time Step" is per image).
+    insitu_per_step = insitu_per_image
+    images = run.steps // run.image_every
+    onetime = 1.0 + 2.0e-6 * run.ranks / math.log2(run.ranks)
+    solver_step = elems_per_rank / run.solver_rate
+    total = onetime + run.steps * solver_step + images * insitu_per_image
+    percent = 100.0 * (onetime + images * insitu_per_image) / total
+    return PhastaResult(
+        name=run.name,
+        onetime_cost=onetime,
+        insitu_per_step=insitu_per_step,
+        total_time=total,
+        percent_insitu=percent,
+        png_time=png,
+        composite_time=composite,
+    )
+
+
+# --------------------------------------------------------------------------
+# AVF-LESLIE (Sec. 4.2.2, Figs. 15-16)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AVFRun:
+    """AVF-LESLIE strong-scaling configuration on Titan."""
+
+    grid: int = 1025  # 1025^3 points
+    cores: int = 16_384
+    steps: int = 100
+    libsim_every: int = 5
+    machine: MachineModel = TITAN
+    #: Finite-volume update rate (points/s/core) for the reactive solver.
+    solver_rate: float = 90_000.0
+    image: tuple[int, int] = (1600, 1600)
+
+
+@dataclass
+class AVFResult:
+    cores: int
+    solver_per_step: float
+    sensei_overhead_per_step: float
+    libsim_per_invocation: float
+    avg_added_per_step: float
+    posthoc_write_per_step: float
+    temporal_resolution_gain: float
+
+
+def avf_strong_scaling(run: AVFRun) -> AVFResult:
+    """Model one core count of the Fig. 15 study.
+
+    Strong scaling: points/core falls with cores; "AVF-LESLIE scaled well
+    up to 16K cores, but efficiency degraded at higher core counts" -- a
+    communication-bound degradation term.  The Libsim invocation renders 3
+    isosurfaces + 3 slices: plot setup + extraction + rendering + a
+    tree composite of full frames + the image save; its cost is dominated
+    by fixed visualization complexity, growing slowly (log p) with scale --
+    7-8 s at 65K (Fig. 16).
+    """
+    net = NetworkModel(run.machine)
+    total_points = run.grid**3
+    points_per_core = total_points / run.cores
+    base_step = points_per_core / run.solver_rate
+    # Efficiency loss beyond 16K cores (halo exchange latency dominance).
+    degradation = 1.0 + max(0.0, (run.cores / 16_384.0) - 1.0) * 0.035
+    solver = base_step * degradation
+    w, h = run.image
+    image_bytes = w * h * 4
+    # 3 isosurfaces (volume sweep) + 3 slices (plane sweep).
+    iso_extract = 3 * points_per_core / (run.machine.elem_rate * 1.2)
+    slice_extract = 3 * points_per_core ** (2.0 / 3.0) / (run.machine.elem_rate * 10)
+    plot_setup = 1.2  # session read + plot/pipeline setup per invocation
+    render_fixed = 2.0  # geometry rasterization of the 6-plot scene
+    # Image reduction across all ranks: latency-bound tree whose per-round
+    # cost is dominated by scene-graph coordination, calibrated to the
+    # 7-8 s Libsim invocations at 65K (Fig. 16).
+    composite = 0.25 * math.ceil(math.log2(max(run.cores, 2))) + net.ptp(image_bytes)
+    save = (w * h * 3) / run.machine.zlib_rate
+    libsim = plot_setup + iso_extract + slice_extract + render_fixed + composite + save
+    sensei_overhead = 0.35  # expose data + derived vorticity (< 0.5 s, Fig. 16)
+    avg_added = sensei_overhead + libsim / run.libsim_every
+    # Post hoc comparison: ~24 s to write one volume step at 65K (5 conserved
+    # variables of 1025^3 doubles through the shared-file path).
+    volume_bytes = total_points * 8 * 5
+    posthoc_write = volume_bytes / (run.machine.io_shared_file_bw * 0.45)
+    # "one can afford 3-4 times greater temporal resolution": one skipped
+    # volume dump buys 3-4 Libsim visualizations.
+    gain = posthoc_write / libsim
+    return AVFResult(
+        cores=run.cores,
+        solver_per_step=solver,
+        sensei_overhead_per_step=sensei_overhead,
+        libsim_per_invocation=libsim,
+        avg_added_per_step=avg_added,
+        posthoc_write_per_step=posthoc_write,
+        temporal_resolution_gain=gain,
+    )
+
+
+def avf_periteration_series(run: AVFRun) -> list[float]:
+    """Fig. 16: per-iteration SENSEI cost -- the 1-in-5 sawtooth."""
+    res = avf_strong_scaling(run)
+    series = []
+    for step in range(1, run.steps + 1):
+        if step % run.libsim_every == 0:
+            series.append(res.sensei_overhead_per_step + res.libsim_per_invocation)
+        else:
+            series.append(res.sensei_overhead_per_step)
+    return series
+
+
+# --------------------------------------------------------------------------
+# Nyx (Sec. 4.2.3, Fig. 17)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NyxRun:
+    """Nyx convergence-study configuration on Cori.
+
+    The three runs keep cells/core constant (~2.1M) yet the paper's wall
+    clocks (45 min / 1 h / 2 h 15 m over 40 steps) show the solver's weak
+    scaling degrading -- the PM gravity solve's global communication.  We
+    capture that with a calibrated scaling exponent rather than inventing a
+    solver communication model the paper gives no breakdown for.
+    """
+
+    grid: int  # grid^3 cells
+    cores: int
+    steps: int = 40
+    machine: MachineModel = CORI
+    #: Hydro+gravity update rate at the 512-core base (cells/s/core).
+    solver_rate: float = 31_000.0
+    #: Weak-scaling degradation exponent: step time grows as
+    #: (cores/512)^exp; fit to 67.5 s -> 90 s -> 202 s.
+    scaling_exp: float = 0.26
+
+
+NYX_RUNS = [
+    NyxRun(1024, 512),
+    NyxRun(2048, 4096),
+    NyxRun(4096, 32_768),
+]
+
+
+@dataclass
+class NyxResult:
+    grid: int
+    cores: int
+    solver_per_step: float
+    histogram_per_step: float
+    slice_per_step: float
+    plotfile_write: float
+    ghost_bytes_per_rank: int
+    slice_extra_bytes: int
+
+
+def nyx_scaling(run: NyxRun) -> NyxResult:
+    """Model one Fig. 17 configuration.
+
+    The headline claims: in situ analysis (histogram, Catalyst slice) costs
+    < 1 s per step -- negligible against minutes-long solver steps -- while
+    each skipped plot file saves 17-312 s; the histogram's memory overhead
+    is the ~2 MB/rank ghost byte array and the slice adds 200-300 MB.
+    """
+    net = NetworkModel(run.machine)
+    cells = run.grid**3
+    cells_per_core = cells / run.cores
+    solver = (
+        cells_per_core / run.solver_rate * (run.cores / 512.0) ** run.scaling_exp
+    )
+    hist = cells_per_core / (run.machine.elem_rate * 55.0) + 2 * net.allreduce(
+        run.cores, 8
+    ) + net.reduce(run.cores, 64 * 8)
+    fb = 1920 * 1080 * 4
+    slice_t = (
+        cells_per_core ** (2.0 / 3.0) / (run.machine.elem_rate * 80.0)
+        + net.binary_swap(run.cores, fb)
+        + (1920 * 1080 * 3) / run.machine.zlib_rate
+    )
+    # Plot files hold eight variables.  BoxLib writes aggregated multifab
+    # files; effective bandwidth grows with the writer pool, calibrated to
+    # the paper's 17 s / 80 s / 312 s plot-file times.
+    plot_bytes = cells * 8 * 8
+    plot_bw = 4.0e9 * (run.cores / 512.0) ** 0.3
+    plotfile = plot_bytes / plot_bw
+    ghost_bytes = int(2 * 1024 * 1024)
+    slice_extra = 250 * 1024 * 1024
+    return NyxResult(
+        grid=run.grid,
+        cores=run.cores,
+        solver_per_step=solver,
+        histogram_per_step=hist,
+        slice_per_step=slice_t,
+        plotfile_write=plotfile,
+        ghost_bytes_per_rank=ghost_bytes,
+        slice_extra_bytes=slice_extra,
+    )

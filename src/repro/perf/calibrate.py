@@ -1,0 +1,93 @@
+"""Native calibration micro-benchmarks.
+
+The extreme-scale model expresses analysis costs as multiples of a
+machine's miniapp compute rate (``elem_rate``).  This module measures the
+same ratios on *this* host by running the real kernels, so tests can check
+that the model's relative cost structure (histogram cheap, autocorrelation
+~window x more, PNG encode dominated by zlib) holds for the actual code --
+the "in situ elements performed as predicted by the miniapplication
+results" cross-check of Sec. 5, turned into an assertion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.autocorrelation import AutocorrelationState
+from repro.analysis.histogram import local_histogram
+from repro.miniapp.oscillator import default_oscillators
+from repro.render.png import encode_png
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@dataclass
+class HostCalibration:
+    """Measured per-element rates on the current host (elements/second)."""
+
+    oscillator_rate: float  # grid-point x oscillator evaluations / s
+    histogram_rate: float  # values binned / s
+    autocorr_rate: float  # value x delay updates / s
+    zlib_rate: float  # image bytes DEFLATEd / s
+
+    @property
+    def hist_factor(self) -> float:
+        """Histogram rate relative to the miniapp fill rate."""
+        return self.histogram_rate / self.oscillator_rate
+
+    @property
+    def autocorr_factor(self) -> float:
+        return self.autocorr_rate / self.oscillator_rate
+
+
+def calibrate_host(n: int = 64, window: int = 8, image: int = 256) -> HostCalibration:
+    """Run the real kernels on an ``n^3`` block and fit the rates."""
+    oscs = default_oscillators()
+    ax = np.linspace(0.0, 1.0, n)
+    x = ax[:, None, None]
+    y = ax[None, :, None]
+    z = ax[None, None, :]
+
+    def fill():
+        field = np.zeros((n, n, n))
+        for o in oscs:
+            field += o.evaluate(x, y, z, 0.37)
+        return field
+
+    t_fill = _time(fill)
+    oscillator_rate = len(oscs) * n**3 / t_fill
+
+    field = fill()
+    vmin, vmax = float(field.min()), float(field.max())
+    t_hist = _time(lambda: local_histogram(field, 64, vmin, vmax))
+    histogram_rate = n**3 / t_hist
+
+    state = AutocorrelationState(window, n**3)
+    flat = field.reshape(-1)
+    # Warm past the ramp-up so all delays update.
+    for _ in range(window):
+        state.update(flat)
+    t_ac = _time(lambda: state.update(flat))
+    autocorr_rate = window * n**3 / t_ac
+
+    rng = np.random.default_rng(0)
+    img = rng.integers(0, 256, (image, image, 3), dtype=np.uint8)
+    t_png = _time(lambda: encode_png(img, 6))
+    zlib_rate = img.nbytes / t_png
+
+    return HostCalibration(
+        oscillator_rate=oscillator_rate,
+        histogram_rate=histogram_rate,
+        autocorr_rate=autocorr_rate,
+        zlib_rate=zlib_rate,
+    )

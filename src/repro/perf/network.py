@@ -1,0 +1,100 @@
+"""Network and collective cost functions (alpha-beta / Hockney model).
+
+All collectives assume binomial-tree or recursive-halving algorithms, the
+defaults in production MPIs for these message classes.  Compositing costs
+follow the standard analyses: binary swap moves O(pixels) total per rank
+over log2(P) rounds; direct send funnels P full images through the root.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perf.machine import MachineModel
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta network cost model bound to one machine."""
+
+    machine: MachineModel
+
+    @property
+    def alpha(self) -> float:
+        return self.machine.net_latency
+
+    @property
+    def beta(self) -> float:
+        return 1.0 / self.machine.net_bandwidth
+
+    # -- point to point -----------------------------------------------------
+    def ptp(self, nbytes: float) -> float:
+        return self.alpha + nbytes * self.beta
+
+    # -- collectives ----------------------------------------------------------
+    def bcast(self, p: int, nbytes: float) -> float:
+        """Binomial-tree broadcast."""
+        if p <= 1:
+            return 0.0
+        return math.ceil(math.log2(p)) * self.ptp(nbytes)
+
+    def reduce(self, p: int, nbytes: float) -> float:
+        """Binomial-tree reduction (scalar/short-vector regime)."""
+        if p <= 1:
+            return 0.0
+        return math.ceil(math.log2(p)) * self.ptp(nbytes)
+
+    def allreduce(self, p: int, nbytes: float) -> float:
+        """Recursive-doubling allreduce ~ reduce + bcast."""
+        if p <= 1:
+            return 0.0
+        return 2.0 * math.ceil(math.log2(p)) * self.ptp(nbytes)
+
+    def gather(self, p: int, nbytes_each: float) -> float:
+        """Tree gather: root ultimately receives (p-1) payloads."""
+        if p <= 1:
+            return 0.0
+        return (
+            math.ceil(math.log2(p)) * self.alpha + (p - 1) * nbytes_each * self.beta
+        )
+
+    def barrier(self, p: int) -> float:
+        if p <= 1:
+            return 0.0
+        return 2.0 * math.ceil(math.log2(p)) * self.alpha
+
+    # -- compositing -------------------------------------------------------------
+    def binary_swap(self, p: int, image_bytes: float) -> float:
+        """Binary-swap compositing + final tile gather to the root.
+
+        Exchange phase: round i moves image_bytes / 2^i per rank; total
+        moved per rank approaches image_bytes.  Gather phase: root receives
+        p tiles totalling one image.
+        """
+        if p <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        exchange = sum(
+            self.ptp(image_bytes / (2 ** (i + 1))) for i in range(rounds)
+        )
+        gather = self.gather(p, image_bytes / p)
+        return exchange + gather
+
+    def direct_send(self, p: int, image_bytes: float) -> float:
+        """Direct-send-to-root compositing: root ingests p-1 full images."""
+        if p <= 1:
+            return 0.0
+        return (p - 1) * (self.alpha + image_bytes * self.beta)
+
+    # -- staging (FlexPath) ----------------------------------------------------
+    def stage_block(self, nbytes: float, same_node: bool = True) -> float:
+        """Ship one block writer -> endpoint.
+
+        Co-scheduled (same node) staging still pays a memcpy-like cost plus
+        the hyperthread perturbation of sharing cores with the simulation.
+        """
+        base = self.ptp(nbytes)
+        if same_node:
+            base = nbytes / (self.machine.net_bandwidth * 4) + self.alpha
+        return base * self.machine.hyperthread_penalty

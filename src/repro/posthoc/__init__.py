@@ -1,0 +1,14 @@
+"""The traditional *post hoc* pipeline (Sec. 4.1.5).
+
+"First, a code will write data to persistent storage ... Later, an analysis
+or visualization code will read that data from persistent storage then
+perform its tasks."  This package is that second code: a reader-side SPMD
+driver that runs on ~10% of the writer core count (the paper's
+configuration), reads each stored time step by sub-extent, runs the same
+analyses the in situ path runs, and reports the read/process/write split of
+Fig. 11.
+"""
+
+from repro.posthoc.pipeline import PosthocResult, run_posthoc_analysis
+
+__all__ = ["run_posthoc_analysis", "PosthocResult"]

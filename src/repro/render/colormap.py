@@ -1,0 +1,80 @@
+"""Scalar-to-color lookup tables for pseudocolor ("heatmap") rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Colormap:
+    """Piecewise-linear RGB colormap over [0, 1].
+
+    Built from control points; :meth:`map` normalizes scalars into the
+    (vmin, vmax) range and interpolates a 256-entry LUT, vectorized over the
+    whole field.
+    """
+
+    def __init__(self, name: str, control_points: list[tuple[float, tuple[int, int, int]]]):
+        if len(control_points) < 2:
+            raise ValueError("colormap needs at least two control points")
+        pts = sorted(control_points)
+        if pts[0][0] != 0.0 or pts[-1][0] != 1.0:
+            raise ValueError("control points must span [0, 1]")
+        self.name = name
+        xs = np.array([p[0] for p in pts])
+        cols = np.array([p[1] for p in pts], dtype=np.float64)
+        t = np.linspace(0.0, 1.0, 256)
+        lut = np.empty((256, 3), dtype=np.float64)
+        for c in range(3):
+            lut[:, c] = np.interp(t, xs, cols[:, c])
+        self.lut = np.clip(np.round(lut), 0, 255).astype(np.uint8)
+
+    def map(
+        self, values: np.ndarray, vmin: float | None = None, vmax: float | None = None
+    ) -> np.ndarray:
+        """RGB (uint8) colors for ``values``; shape ``values.shape + (3,)``.
+
+        NaNs map to black.  A degenerate range maps everything to the low
+        end of the table.
+        """
+        v = np.asarray(values, dtype=np.float64)
+        finite = np.isfinite(v)
+        lo = float(np.nanmin(v)) if vmin is None else float(vmin)
+        hi = float(np.nanmax(v)) if vmax is None else float(vmax)
+        if hi > lo:
+            t = (v - lo) / (hi - lo)
+        else:
+            t = np.zeros_like(v)
+        t = np.clip(np.where(finite, t, 0.0), 0.0, 1.0)
+        idx = (t * 255.0 + 0.5).astype(np.int64)
+        np.clip(idx, 0, 255, out=idx)
+        out = self.lut[idx]
+        if not finite.all():
+            out = out.copy()
+            out[~finite] = 0
+        return out
+
+
+#: A viridis-like perceptually ordered map (anchor colors from the
+#: matplotlib viridis table).
+VIRIDIS = Colormap(
+    "viridis",
+    [
+        (0.00, (68, 1, 84)),
+        (0.25, (59, 82, 139)),
+        (0.50, (33, 145, 140)),
+        (0.75, (94, 201, 98)),
+        (1.00, (253, 231, 37)),
+    ],
+)
+
+#: The ParaView default diverging "cool to warm" map.
+COOL_WARM = Colormap(
+    "cool_warm",
+    [
+        (0.0, (59, 76, 192)),
+        (0.5, (221, 221, 221)),
+        (1.0, (180, 4, 38)),
+    ],
+)
+
+GRAY = Colormap("gray", [(0.0, (0, 0, 0)), (1.0, (255, 255, 255))])

@@ -1,0 +1,176 @@
+"""PNG encode/decode on stdlib ``zlib``.
+
+The paper traces PHASTA's surprising per-step in situ cost to "the ZLIB
+compression time in generating the PNG file ... a serial process only
+computed on rank 0" (Sec. 4.2.1, Table 2 discussion: 4.03 s -> 0.518 s per
+step when skipping compression).  A real encoder keeps that effect
+measurable here: ``compression_level=0`` reproduces the "skip compression"
+ablation.
+
+Supported: 8-bit grayscale (color type 0) and 8-bit RGB (color type 2),
+which covers every image the infrastructures write.  The decoder implements
+all five PNG row filters so it can read PNGs produced by other tools in
+these formats.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+class PNGError(ValueError):
+    """Malformed or unsupported PNG data."""
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def encode_png(image: np.ndarray, compression_level: int = 6) -> bytes:
+    """Encode ``(h, w)`` grayscale or ``(h, w, 3)`` RGB uint8 to PNG bytes.
+
+    ``compression_level`` maps straight to zlib (0 = store, 9 = max); the
+    Table 2 ablation sweeps it.
+    """
+    a = np.asarray(image)
+    if a.dtype != np.uint8:
+        raise PNGError(f"image must be uint8, got {a.dtype}")
+    if a.ndim == 2:
+        color_type = 0
+        channels = 1
+    elif a.ndim == 3 and a.shape[2] == 3:
+        color_type = 2
+        channels = 3
+    else:
+        raise PNGError(f"unsupported image shape {a.shape}")
+    if not 0 <= compression_level <= 9:
+        raise PNGError("compression_level must be in 0..9")
+    h, w = a.shape[:2]
+    if h == 0 or w == 0:
+        raise PNGError("image must be non-empty")
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, color_type, 0, 0, 0)
+    # Raw scanlines, each prefixed with filter type 0 (None).
+    rows = a.reshape(h, w * channels)
+    raw = bytearray()
+    for r in range(h):
+        raw.append(0)
+        raw += rows[r].tobytes()
+    idat = zlib.compress(bytes(raw), compression_level)
+    return (
+        _SIGNATURE
+        + _chunk(b"IHDR", ihdr)
+        + _chunk(b"IDAT", idat)
+        + _chunk(b"IEND", b"")
+    )
+
+
+def _paeth(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    p = a.astype(np.int32) + b.astype(np.int32) - c.astype(np.int32)
+    pa = np.abs(p - a)
+    pb = np.abs(p - b)
+    pc = np.abs(p - c)
+    out = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
+    return out.astype(np.uint8)
+
+
+def _defilter(
+    filtered: np.ndarray, h: int, stride: int, bpp: int
+) -> np.ndarray:
+    """Undo PNG row filters; ``filtered`` is (h, 1 + stride) uint8."""
+    out = np.zeros((h, stride), dtype=np.uint8)
+    for r in range(h):
+        ftype = int(filtered[r, 0])
+        line = filtered[r, 1:].astype(np.int32)
+        prev = out[r - 1].astype(np.int32) if r > 0 else np.zeros(stride, np.int32)
+        cur = np.zeros(stride, dtype=np.int32)
+        if ftype == 0:  # None
+            cur = line
+        elif ftype == 2:  # Up
+            cur = (line + prev) & 0xFF
+        elif ftype in (1, 3, 4):  # Sub / Average / Paeth need left neighbors
+            for x in range(stride):
+                left = cur[x - bpp] if x >= bpp else 0
+                up = prev[x]
+                ul = prev[x - bpp] if x >= bpp else 0
+                if ftype == 1:
+                    cur[x] = (line[x] + left) & 0xFF
+                elif ftype == 3:
+                    cur[x] = (line[x] + ((left + up) // 2)) & 0xFF
+                else:
+                    pa = abs(up - ul)
+                    pb = abs(left - ul)
+                    pc = abs(left + up - 2 * ul)
+                    pred = left if pa <= pb and pa <= pc else (up if pb <= pc else ul)
+                    cur[x] = (line[x] + pred) & 0xFF
+        else:
+            raise PNGError(f"unknown filter type {ftype}")
+        out[r] = cur.astype(np.uint8)
+    return out
+
+
+def decode_png(data: bytes) -> np.ndarray:
+    """Decode PNG bytes to a ``(h, w)`` or ``(h, w, 3)`` uint8 array."""
+    if data[:8] != _SIGNATURE:
+        raise PNGError("not a PNG: bad signature")
+    pos = 8
+    width = height = None
+    color_type = None
+    idat = bytearray()
+    while pos < len(data):
+        if pos + 8 > len(data):
+            raise PNGError("truncated chunk header")
+        (length,) = struct.unpack(">I", data[pos : pos + 4])
+        tag = data[pos + 4 : pos + 8]
+        payload = data[pos + 8 : pos + 8 + length]
+        if len(payload) != length:
+            raise PNGError("truncated chunk payload")
+        crc = struct.unpack(">I", data[pos + 8 + length : pos + 12 + length])[0]
+        if crc != (zlib.crc32(tag + payload) & 0xFFFFFFFF):
+            raise PNGError(f"bad CRC in {tag!r} chunk")
+        if tag == b"IHDR":
+            width, height, depth, color_type, comp, filt, interlace = struct.unpack(
+                ">IIBBBBB", payload
+            )
+            if depth != 8:
+                raise PNGError(f"unsupported bit depth {depth}")
+            if color_type not in (0, 2):
+                raise PNGError(f"unsupported color type {color_type}")
+            if comp != 0 or filt != 0:
+                raise PNGError("unsupported compression/filter method")
+            if interlace != 0:
+                raise PNGError("interlaced PNGs not supported")
+        elif tag == b"IDAT":
+            idat += payload
+        elif tag == b"IEND":
+            break
+        pos += 12 + length
+    if width is None or color_type is None:
+        raise PNGError("missing IHDR")
+    channels = 1 if color_type == 0 else 3
+    stride = width * channels
+    raw = zlib.decompress(bytes(idat))
+    if len(raw) != height * (stride + 1):
+        raise PNGError("decompressed size mismatch")
+    filtered = np.frombuffer(raw, dtype=np.uint8).reshape(height, stride + 1)
+    out = _defilter(filtered, height, stride, channels)
+    if channels == 1:
+        return out.reshape(height, width)
+    return out.reshape(height, width, 3)
+
+
+def write_png(path, image: np.ndarray, compression_level: int = 6) -> int:
+    """Encode and write; returns the encoded byte count."""
+    blob = encode_png(image, compression_level)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return len(blob)

@@ -1,0 +1,206 @@
+"""An ADIOS-BP-style self-describing container.
+
+ADIOS "marshals the memory and metadata to make such code self-describing"
+(Sec. 2.2.3); its BP format stores per-writer data subfiles plus a global
+metadata index.  :class:`BPWriter` reproduces that layout (a ``<name>.bp``
+directory with ``data.<rank>`` subfiles and a root-written
+``md.idx`` JSON index); :class:`BPReader` reads any variable's global or
+sub-selected box back with any number of reader ranks.  The SENSEI ADIOS
+analysis adaptor uses this for its "save the data out to an ADIOS BP file"
+mode; the FlexPath staging transport shares the variable/metadata model but
+moves buffers memory-to-memory instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.decomp import Extent
+
+
+@dataclass(frozen=True)
+class BPBlockRecord:
+    """Metadata for one writer's block of one variable at one step."""
+
+    var: str
+    step: int
+    rank: int
+    extent: Extent
+    dtype: str
+    offset: int  # byte offset in the writer's data subfile
+    nbytes: int
+
+
+class BPFile:
+    """Path helpers for the on-disk BP layout."""
+
+    def __init__(self, path) -> None:
+        self.root = str(path)
+        if not self.root.endswith(".bp"):
+            self.root += ".bp"
+
+    def subfile(self, rank: int) -> str:
+        return os.path.join(self.root, f"data.{rank}")
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "md.idx")
+
+
+class BPWriter:
+    """Collective, step-oriented writer.
+
+    Usage per step (mirrors the ADIOS write API): ``begin_step`` ...
+    ``write(var, block, extent)`` ... ``end_step``; ``close`` writes the
+    metadata index from rank 0.
+    """
+
+    def __init__(self, comm, path, global_dims: tuple[int, int, int]) -> None:
+        self.comm = comm
+        self.file = BPFile(path)
+        self.global_dims = global_dims
+        self._step: int | None = None
+        self._next_step = 0
+        self._local_records: list[BPBlockRecord] = []
+        self._offset = 0
+        if comm.rank == 0:
+            os.makedirs(self.file.root, exist_ok=True)
+        comm.barrier()
+        self._fh = open(self.file.subfile(comm.rank), "wb")
+        self._closed = False
+
+    def begin_step(self) -> int:
+        if self._step is not None:
+            raise RuntimeError("begin_step inside an open step")
+        self._step = self._next_step
+        return self._step
+
+    def write(self, var: str, block: np.ndarray, extent: Extent) -> int:
+        """Write this rank's block of ``var``; returns bytes written."""
+        if self._step is None:
+            raise RuntimeError("write outside begin_step/end_step")
+        data = np.ascontiguousarray(block)
+        if data.shape != extent.shape:
+            raise ValueError("block shape must match extent")
+        raw = data.tobytes()
+        self._fh.write(raw)
+        self._local_records.append(
+            BPBlockRecord(
+                var=var,
+                step=self._step,
+                rank=self.comm.rank,
+                extent=extent,
+                dtype=str(data.dtype),
+                offset=self._offset,
+                nbytes=len(raw),
+            )
+        )
+        self._offset += len(raw)
+        return len(raw)
+
+    def end_step(self) -> None:
+        """Advance: exchange metadata so the step is globally visible.
+
+        This is the ``adios::advance`` boundary whose cost Fig. 8 reports.
+        """
+        if self._step is None:
+            raise RuntimeError("end_step without begin_step")
+        self._step = None
+        self._next_step += 1
+        self.comm.barrier()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.flush()
+        self._fh.close()
+        all_records = self.comm.gather(
+            [
+                {
+                    "var": r.var,
+                    "step": r.step,
+                    "rank": r.rank,
+                    "extent": [r.extent.i0, r.extent.i1, r.extent.j0, r.extent.j1, r.extent.k0, r.extent.k1],
+                    "dtype": r.dtype,
+                    "offset": r.offset,
+                    "nbytes": r.nbytes,
+                }
+                for r in self._local_records
+            ],
+            root=0,
+        )
+        if self.comm.rank == 0:
+            index = {
+                "global_dims": list(self.global_dims),
+                "num_writers": self.comm.size,
+                "num_steps": self._next_step,
+                "blocks": [rec for per_rank in all_records for rec in per_rank],
+            }
+            with open(self.file.index_path, "w", encoding="utf-8") as fh:
+                json.dump(index, fh)
+        self.comm.barrier()
+
+
+class BPReader:
+    """Reads variables back, with sub-extent selection; works with any
+    number of reader ranks (each reader opens only the subfiles it needs)."""
+
+    def __init__(self, path) -> None:
+        self.file = BPFile(path)
+        with open(self.file.index_path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        self.global_dims = tuple(raw["global_dims"])
+        self.num_writers = raw["num_writers"]
+        self.num_steps = raw["num_steps"]
+        self._blocks = [
+            BPBlockRecord(
+                var=b["var"],
+                step=b["step"],
+                rank=b["rank"],
+                extent=Extent(*b["extent"]),
+                dtype=b["dtype"],
+                offset=b["offset"],
+                nbytes=b["nbytes"],
+            )
+            for b in raw["blocks"]
+        ]
+
+    def variables(self) -> list[str]:
+        return sorted({b.var for b in self._blocks})
+
+    def read(self, var: str, step: int, selection: Extent | None = None) -> np.ndarray:
+        """Read ``var`` at ``step``, optionally restricted to ``selection``."""
+        records = [b for b in self._blocks if b.var == var and b.step == step]
+        if not records:
+            raise KeyError(f"no blocks for var {var!r} at step {step}")
+        if selection is None:
+            nx, ny, nz = self.global_dims
+            selection = Extent(0, nx - 1, 0, ny - 1, 0, nz - 1)
+        out = np.zeros(selection.shape, dtype=np.dtype(records[0].dtype))
+        for rec in records:
+            overlap = rec.extent.intersect(selection)
+            if overlap is None:
+                continue
+            with open(self.file.subfile(rec.rank), "rb") as fh:
+                fh.seek(rec.offset)
+                raw = fh.read(rec.nbytes)
+            block = np.frombuffer(raw, dtype=np.dtype(rec.dtype)).reshape(
+                rec.extent.shape
+            )
+            e = rec.extent
+            src = block[
+                overlap.i0 - e.i0 : overlap.i1 - e.i0 + 1,
+                overlap.j0 - e.j0 : overlap.j1 - e.j0 + 1,
+                overlap.k0 - e.k0 : overlap.k1 - e.k0 + 1,
+            ]
+            out[
+                overlap.i0 - selection.i0 : overlap.i1 - selection.i0 + 1,
+                overlap.j0 - selection.j0 : overlap.j1 - selection.j0 + 1,
+                overlap.k0 - selection.k0 : overlap.k1 - selection.k0 + 1,
+            ] = src
+        return out

@@ -1,0 +1,96 @@
+"""Collective shared-file I/O in the MPI-IO style.
+
+The paper's MPI-IO comparison point (Table 1) uses
+``MPI_Type_create_subarray`` + ``MPI_File_set_view`` + ``MPI_File_write_all``
+to store the global multi-dimensional array in canonical order in one shared
+file.  We emulate that faithfully: every rank writes its block's rows into
+the shared file at the offsets the subarray filetype would dictate.  Because
+a 3-D block's data is *strided* in the canonical global layout, this incurs
+one seek+write per (i, j) row -- the access pattern that makes shared-file
+I/O slower than file-per-process in Table 1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.util.decomp import Extent
+
+_HEADER_BYTES = 512
+
+
+def _header(global_dims: tuple[int, int, int], dtype: np.dtype) -> bytes:
+    meta = json.dumps({"dims": list(global_dims), "dtype": str(dtype)}).encode()
+    if len(meta) > _HEADER_BYTES - 8:
+        raise ValueError("header too large")
+    return len(meta).to_bytes(8, "little") + meta.ljust(_HEADER_BYTES - 8, b"\x00")
+
+
+def mpiio_write_collective(
+    comm,
+    path,
+    block: np.ndarray,
+    extent: Extent,
+    global_dims: tuple[int, int, int],
+) -> int:
+    """Collectively write per-rank blocks into one canonical shared file.
+
+    Returns the bytes this rank wrote.  Rank 0 pre-sizes the file and writes
+    the header; all ranks then write their subarray rows at computed
+    offsets.  A barrier separates the two phases, standing in for the
+    synchronization inside ``MPI_File_write_all``.
+    """
+    data = np.ascontiguousarray(block)
+    if data.shape != extent.shape:
+        raise ValueError("block shape must match extent")
+    nx, ny, nz = global_dims
+    itemsize = data.dtype.itemsize
+    total = _HEADER_BYTES + nx * ny * nz * itemsize
+    if comm.rank == 0:
+        with open(path, "wb") as fh:
+            fh.write(_header(global_dims, data.dtype))
+            fh.truncate(total)
+    comm.barrier()
+    written = 0
+    with open(path, "r+b") as fh:
+        for li, gi in enumerate(range(extent.i0, extent.i1 + 1)):
+            for lj, gj in enumerate(range(extent.j0, extent.j1 + 1)):
+                offset = _HEADER_BYTES + ((gi * ny + gj) * nz + extent.k0) * itemsize
+                fh.seek(offset)
+                row = data[li, lj].tobytes()
+                fh.write(row)
+                written += len(row)
+    comm.barrier()
+    return written
+
+
+def mpiio_read_block(path, extent: Extent) -> np.ndarray:
+    """Read one sub-block back from a canonical shared file."""
+    with open(path, "rb") as fh:
+        hlen = int.from_bytes(fh.read(8), "little")
+        meta = json.loads(fh.read(hlen).decode())
+        nx, ny, nz = meta["dims"]
+        dtype = np.dtype(meta["dtype"])
+        if not (
+            0 <= extent.i0 <= extent.i1 < nx
+            and 0 <= extent.j0 <= extent.j1 < ny
+            and 0 <= extent.k0 <= extent.k1 < nz
+        ):
+            raise ValueError("requested extent outside the stored array")
+        out = np.empty(extent.shape, dtype=dtype)
+        nk = extent.k1 - extent.k0 + 1
+        for li, gi in enumerate(range(extent.i0, extent.i1 + 1)):
+            for lj, gj in enumerate(range(extent.j0, extent.j1 + 1)):
+                offset = _HEADER_BYTES + ((gi * ny + gj) * nz + extent.k0) * dtype.itemsize
+                fh.seek(offset)
+                out[li, lj] = np.frombuffer(
+                    fh.read(nk * dtype.itemsize), dtype=dtype
+                )
+    return out
+
+
+def file_size_for(global_dims: tuple[int, int, int], dtype) -> int:
+    nx, ny, nz = global_dims
+    return _HEADER_BYTES + nx * ny * nz * np.dtype(dtype).itemsize

@@ -1,0 +1,30 @@
+"""Shared utilities: timers, memory accounting, domain decomposition, config.
+
+These are the measurement substrate for the whole study: the paper reports
+elapsed wall-clock time per phase (Figs 5, 6, 8, 9, 10) and the per-rank
+memory high-water mark summed over ranks (Figs 4, 7).
+"""
+
+from repro.util.timers import Timer, TimerRegistry, timed
+from repro.util.memory import MemoryTracker, sum_high_water
+from repro.util.decomp import (
+    block_decompose_1d,
+    factor_ranks,
+    regular_decompose_3d,
+    Extent,
+)
+from repro.util.config import Configuration, ConfigError
+
+__all__ = [
+    "Timer",
+    "TimerRegistry",
+    "timed",
+    "MemoryTracker",
+    "sum_high_water",
+    "block_decompose_1d",
+    "factor_ranks",
+    "regular_decompose_3d",
+    "Extent",
+    "Configuration",
+    "ConfigError",
+]

@@ -1,0 +1,90 @@
+"""Node-level (thread) parallelism helpers.
+
+Nyx "typically ... use[s] 1-2 MPI ranks per compute node and use[s] OpenMP
+within a node.  For effective use in simulations, in situ analysis must
+support hybrid MPI+OpenMP (or other thread-based) execution models"
+(Sec. 4.2.3).  These helpers are the thread-based half of that hybrid:
+chunked fork-join maps over NumPy workloads.  Large NumPy kernels release
+the GIL, so worker threads provide genuine node-level concurrency for the
+memory-bound analysis kernels they are used on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+
+def chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[lo, hi)`` chunks of ``range(n)``.
+
+    Never returns empty chunks; with ``parts > n`` only ``n`` chunks come
+    back.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    parts = min(parts, max(n, 1))
+    base, extra = divmod(n, parts)
+    out = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo or n == 0:
+            out.append((lo, hi))
+        lo = hi
+    return [c for c in out if c[1] > c[0]] or [(0, 0)]
+
+
+def thread_map(
+    fn: Callable[[Any], Any], items: Sequence[Any], n_threads: int
+) -> list[Any]:
+    """Apply ``fn`` to every item using up to ``n_threads`` workers.
+
+    Results come back in input order.  Exceptions propagate: the first
+    failing item's exception is re-raised in the caller.
+    """
+    if n_threads <= 0:
+        raise ValueError("n_threads must be positive")
+    items = list(items)
+    if n_threads == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    results: list[Any] = [None] * len(items)
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+    cursor = {"next": 0}
+
+    def worker() -> None:
+        while True:
+            with lock:
+                i = cursor["next"]
+                if i >= len(items) or errors:
+                    return
+                cursor["next"] = i + 1
+            try:
+                results[i] = fn(items[i])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with lock:
+                    errors.append((i, exc))
+                return
+
+    threads = [
+        threading.Thread(target=worker, name=f"analysis-worker-{t}")
+        for t in range(min(n_threads, len(items)))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        errors.sort()
+        raise errors[0][1]
+    return results
+
+
+def parallel_chunked(
+    fn: Callable[[int, int], Any], n: int, n_threads: int
+) -> list[Any]:
+    """Run ``fn(lo, hi)`` over balanced chunks of ``range(n)`` in threads."""
+    return thread_map(lambda c: fn(*c), chunk_ranges(n, n_threads), n_threads)

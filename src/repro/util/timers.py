@@ -1,0 +1,151 @@
+"""Hierarchical phase timers.
+
+The paper's measurement methodology (Sec. 4.1.1) distinguishes one-time costs
+(``initialize``, ``analysis initialize``, ``finalize``) from recurring
+per-timestep costs (``simulation``, ``analysis``).  Every instrumented
+component in this repo reports into a :class:`TimerRegistry` so benchmarks can
+recover exactly those phase breakdowns.
+
+Timers are per-rank objects; the launcher gives each simulated MPI rank its
+own registry, and harness code aggregates (mean / max / sum) across ranks the
+same way the paper aggregates across MPI ranks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating timer for one named phase.
+
+    Records total elapsed seconds, call count, and min/max per-call times so
+    per-timestep averages (Fig. 6) and worst-case iterations (Fig. 16) can
+    both be derived from a single run.
+    """
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    min_time: float = float("inf")
+    max_time: float = 0.0
+    _start: float | None = None
+    #: Per-call samples, kept only when ``keep_samples`` is set; used by the
+    #: AVF-LESLIE per-iteration study (Fig. 16) where the sawtooth matters.
+    samples: list[float] = field(default_factory=list)
+    keep_samples: bool = False
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.add(elapsed)
+        return elapsed
+
+    def add(self, elapsed: float) -> None:
+        """Record an externally measured (or modeled) duration."""
+        self.total += elapsed
+        self.count += 1
+        self.min_time = min(self.min_time, elapsed)
+        self.max_time = max(self.max_time, elapsed)
+        if self.keep_samples:
+            self.samples.append(elapsed)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Timer({self.name!r}, total={self.total:.6f}s, "
+            f"count={self.count}, mean={self.mean:.6f}s)"
+        )
+
+
+class TimerRegistry:
+    """A flat namespace of :class:`Timer` objects for one rank.
+
+    Phase names use ``::`` separators by convention, mirroring the paper's
+    labels, e.g. ``"sensei::initialize"``, ``"adios::advance"``,
+    ``"avf_insitu::analyze"``.
+    """
+
+    def __init__(self, keep_samples: bool = False) -> None:
+        self._timers: dict[str, Timer] = {}
+        self._keep_samples = keep_samples
+
+    def timer(self, name: str) -> Timer:
+        t = self._timers.get(name)
+        if t is None:
+            t = Timer(name, keep_samples=self._keep_samples)
+            self._timers[name] = t
+        return t
+
+    @contextmanager
+    def time(self, name: str):
+        t = self.timer(name)
+        t.start()
+        try:
+            yield t
+        finally:
+            t.stop()
+
+    def add(self, name: str, elapsed: float) -> None:
+        self.timer(name).add(elapsed)
+
+    def total(self, name: str) -> float:
+        t = self._timers.get(name)
+        return t.total if t else 0.0
+
+    def mean(self, name: str) -> float:
+        t = self._timers.get(name)
+        return t.mean if t else 0.0
+
+    def names(self) -> list[str]:
+        return sorted(self._timers)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Serializable snapshot, used to ship timings across ranks."""
+        return {
+            name: {
+                "total": t.total,
+                "count": float(t.count),
+                "mean": t.mean,
+                "max": t.max_time,
+            }
+            for name, t in self._timers.items()
+        }
+
+    def merge(self, other: "TimerRegistry") -> None:
+        """Fold another registry into this one (summing totals/counts)."""
+        for name, t in other._timers.items():
+            mine = self.timer(name)
+            mine.total += t.total
+            mine.count += t.count
+            mine.min_time = min(mine.min_time, t.min_time)
+            mine.max_time = max(mine.max_time, t.max_time)
+            if mine.keep_samples:
+                mine.samples.extend(t.samples)
+
+
+@contextmanager
+def timed(registry: TimerRegistry | None, name: str):
+    """Time a block against ``registry`` if one is provided, else no-op.
+
+    Lets library code stay instrumentable without forcing every caller to
+    construct a registry.
+    """
+    if registry is None:
+        yield None
+        return
+    with registry.time(name) as t:
+        yield t

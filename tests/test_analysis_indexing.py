@@ -1,0 +1,124 @@
+"""Tests for in situ bitmap indexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.indexing import (
+    BitmapIndex,
+    BitmapIndexAnalysis,
+    load_index,
+    query_step,
+)
+from repro.core import Bridge
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+
+
+class TestBitmapIndex:
+    def test_build_bin_counts(self):
+        values = np.array([0.0, 0.1, 0.5, 0.9, 1.0])
+        idx = BitmapIndex.build(values, 2, 0.0, 1.0)
+        assert idx.bins == 2
+        assert idx.bin_count(0) == 2  # 0.0, 0.1
+        assert idx.bin_count(1) == 3  # 0.5, 0.9, 1.0 (vmax clipped in)
+
+    def test_empty_values(self):
+        idx = BitmapIndex.build(np.array([]), 4, 0.0, 1.0)
+        assert idx.n == 0
+        assert idx.query(0.0, 1.0).upper == 0
+
+    def test_fully_covered_bins_exact(self):
+        values = np.linspace(0, 1, 100)
+        idx = BitmapIndex.build(values, 10, 0.0, 1.0)
+        # Query aligned to the index's OWN edges: bins 2..5 fully covered.
+        lo, hi = float(idx.edges[2]), float(idx.edges[6])
+        rc = idx.query(lo, hi)
+        truth = int(((values >= lo) & (values < hi)).sum())
+        assert rc.lower == truth
+        assert rc.upper == truth  # no candidates: fully covered
+
+    def test_edge_bins_bound_and_refine(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(500)
+        idx = BitmapIndex.build(values, 16, 0.0, 1.0)
+        lo, hi = 0.133, 0.71
+        rc = idx.query(lo, hi)
+        truth = int(((values >= lo) & (values < hi)).sum())
+        assert rc.lower <= truth <= rc.upper
+        refined = idx.query(lo, hi, raw_values=values)
+        assert refined.exact == truth
+
+    def test_query_validation(self):
+        idx = BitmapIndex.build(np.arange(10.0), 4, 0.0, 9.0)
+        with pytest.raises(ValueError):
+            idx.query(5.0, 1.0)
+        with pytest.raises(ValueError):
+            idx.query(0.0, 1.0, raw_values=np.zeros(3))
+
+    def test_index_smaller_than_data(self):
+        values = np.random.default_rng(1).random(10_000)
+        idx = BitmapIndex.build(values, 16, 0.0, 1.0)
+        # 16 bins x n/8 bytes per bitmap = 2 B/value vs 8 B/value raw.
+        assert idx.nbytes() < values.nbytes / 2
+
+    def test_build_validation(self):
+        with pytest.raises(ValueError):
+            BitmapIndex.build(np.zeros(4), 0, 0.0, 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(0, 100), min_size=1, max_size=300),
+        st.integers(1, 32),
+        st.floats(0, 100),
+        st.floats(0, 100),
+    )
+    def test_bounds_always_bracket_truth_property(self, values, bins, a, b):
+        lo, hi = min(a, b), max(a, b)
+        arr = np.array(values)
+        vmin, vmax = float(arr.min()), float(arr.max())
+        idx = BitmapIndex.build(arr, bins, vmin, vmax)
+        rc = idx.query(lo, hi, raw_values=arr)
+        truth = int(((arr >= lo) & (arr < hi)).sum())
+        assert rc.lower <= truth <= rc.upper
+        assert rc.exact == truth
+
+
+class TestBitmapIndexAnalysis:
+    def _run(self, tmpdir, nranks=2, steps=2, dims=(10, 8, 6)):
+        def prog(comm):
+            sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            bi = BitmapIndexAnalysis(tmpdir, bins=16)
+            bridge.add_analysis(bi)
+            bridge.initialize()
+            sim.run(steps, bridge)
+            results = bridge.finalize()
+            return sim.extent, sim.field.copy(), results
+
+        return run_spmd(nranks, prog)
+
+    def test_index_files_written(self, tmp_path):
+        out = self._run(str(tmp_path))
+        info = out[0][2]["BitmapIndexAnalysis"]
+        assert info["bytes_index"] < info["bytes_indexed"]
+        idx = load_index(str(tmp_path), 2, 0)
+        assert idx.bins == 16
+
+    def test_posthoc_query_without_raw_data(self, tmp_path):
+        """The payoff: range counts from indexes alone bracket the truth."""
+        out = self._run(str(tmp_path), nranks=3)
+        # Ground truth from the final fields.
+        values = np.concatenate([f.reshape(-1) for _, f, _ in out])
+        lo, hi = -0.2, 0.3
+        truth = int(((values >= lo) & (values < hi)).sum())
+        rc = query_step(str(tmp_path), 2, nranks=3, lo=lo, hi=hi)
+        assert rc.lower <= truth <= rc.upper
+        # The bounds are useful, not vacuous.
+        assert rc.upper - rc.lower < values.size / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitmapIndexAnalysis("x", bins=0)

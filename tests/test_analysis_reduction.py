@@ -1,0 +1,163 @@
+"""Tests for in situ data reduction (downsampling + quantization extracts)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reduction import (
+    ReducedExtractAnalysis,
+    dequantize,
+    downsample_mean,
+    quantization_error_bound,
+    quantize,
+    read_reduced_extract,
+)
+from repro.core import Bridge
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+
+
+class TestDownsample:
+    def test_factor_one_is_copy(self):
+        f = np.random.default_rng(0).random((4, 4, 4))
+        out = downsample_mean(f, 1)
+        np.testing.assert_array_equal(out, f)
+        assert not np.shares_memory(out, f)
+
+    def test_block_means_exact(self):
+        f = np.arange(8.0).reshape(2, 2, 2)
+        out = downsample_mean(f, 2)
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == pytest.approx(f.mean())
+
+    def test_partial_trailing_blocks(self):
+        f = np.ones((5, 5, 5))
+        out = downsample_mean(f, 2)
+        assert out.shape == (3, 3, 3)
+        np.testing.assert_allclose(out, 1.0)  # means of ones are ones
+
+    def test_constant_preserved(self):
+        f = np.full((6, 4, 4), 3.7)
+        np.testing.assert_allclose(downsample_mean(f, 3), 3.7)
+
+    def test_mean_preserved_for_divisible(self):
+        rng = np.random.default_rng(1)
+        f = rng.random((8, 8, 8))
+        out = downsample_mean(f, 2)
+        assert out.mean() == pytest.approx(f.mean())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            downsample_mean(np.zeros((2, 2, 2)), 0)
+        with pytest.raises(ValueError):
+            downsample_mean(np.zeros((2, 2)), 2)
+
+
+class TestQuantize:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(-50, 50), min_size=1, max_size=100),
+        st.integers(2, 16),
+    )
+    def test_error_bound_property(self, values, bits):
+        """Round-trip error never exceeds the advertised bound."""
+        f = np.array(values)
+        vmin, vmax = float(f.min()), float(f.max())
+        codes = quantize(f, bits, vmin, vmax)
+        back = dequantize(codes, bits, vmin, vmax)
+        bound = quantization_error_bound(bits, vmin, vmax)
+        assert np.all(np.abs(back - f) <= bound + 1e-12)
+
+    def test_degenerate_range(self):
+        f = np.full(5, 2.0)
+        codes = quantize(f, 8, 2.0, 2.0)
+        assert np.all(codes == 0)
+        np.testing.assert_array_equal(dequantize(codes, 8, 2.0, 2.0), f)
+
+    def test_monotone(self):
+        f = np.linspace(0, 1, 100)
+        codes = quantize(f, 6, 0.0, 1.0)
+        assert np.all(np.diff(codes.astype(int)) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros(3), 0, 0, 1)
+        with pytest.raises(ValueError):
+            dequantize(np.zeros(3, dtype=np.uint32), 33, 0, 1)
+
+
+class TestReducedExtractAnalysis:
+    def _run(self, tmpdir, nranks=2, factor=2, bits=8, steps=2, dims=(12, 8, 8)):
+        def prog(comm):
+            sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            red = ReducedExtractAnalysis(tmpdir, factor=factor, bits=bits)
+            bridge.add_analysis(red)
+            bridge.initialize()
+            sim.run(steps, bridge)
+            results = bridge.finalize()
+            return sim.extent, sim.field.copy(), results
+
+        return run_spmd(nranks, prog)
+
+    def test_extract_written_and_ratio(self, tmp_path):
+        out = self._run(str(tmp_path))
+        info = out[0][2]["ReducedExtractAnalysis"]
+        # factor 2 in 3-D = 8x fewer samples; 8 bits vs 64 = 8x smaller each.
+        assert info["ratio"] > 30
+        extracts = read_reduced_extract(str(tmp_path), 2)
+        assert len(extracts) == 2  # one per rank
+
+    def test_reconstruction_error_bounded(self, tmp_path):
+        out = self._run(str(tmp_path), nranks=2, factor=2, bits=10)
+        extracts = read_reduced_extract(str(tmp_path), 2)
+        for (ext, field, _), (meta, coarse) in zip(out, extracts):
+            reference = downsample_mean(field, 2)
+            bound = quantization_error_bound(10, meta["vmin"], meta["vmax"])
+            assert np.all(np.abs(coarse - reference) <= bound + 1e-12)
+
+    def test_higher_bits_lower_error(self, tmp_path):
+        out4 = self._run(str(tmp_path / "b4"), bits=4, steps=1)
+        out12 = self._run(str(tmp_path / "b12"), bits=12, steps=1)
+
+        def max_err(outs, tmpdir, bits):
+            extracts = read_reduced_extract(tmpdir, 1)
+            errs = []
+            for (ext, field, _), (meta, coarse) in zip(outs, extracts):
+                errs.append(
+                    np.abs(coarse - downsample_mean(field, 2)).max()
+                )
+            return max(errs)
+
+        e4 = max_err(out4, str(tmp_path / "b4"), 4)
+        e12 = max_err(out12, str(tmp_path / "b12"), 12)
+        assert e12 < e4
+
+    def test_configurable_registration(self, tmp_path):
+        from repro.core import ConfigurableAnalysis
+        from repro.util import Configuration
+
+        ca = ConfigurableAnalysis(
+            Configuration(
+                {
+                    "analyses": [
+                        {
+                            "type": "reduced_extract",
+                            "output_dir": str(tmp_path),
+                            "factor": 4,
+                            "bits": 6,
+                        }
+                    ]
+                }
+            )
+        )
+        assert ca.analyses[0].factor == 4
+        assert ca.analyses[0].bits == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReducedExtractAnalysis("x", factor=0)
+        with pytest.raises(ValueError):
+            ReducedExtractAnalysis("x", bits=0)

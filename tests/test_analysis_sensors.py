@@ -1,0 +1,75 @@
+"""Tests for virtual-sensor time-series probes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.probe import SensorProbeAnalysis
+from repro.core import Bridge
+from repro.miniapp import Oscillator, OscillatorKind, OscillatorSimulation
+from repro.mpi import run_spmd
+
+
+class TestSensorProbeAnalysis:
+    def _run(self, nranks, points, steps=8, dims=(12, 12, 12), oscillators=None):
+        from repro.miniapp.oscillator import default_oscillators
+
+        oscs = oscillators or default_oscillators()
+
+        def prog(comm):
+            sim = OscillatorSimulation(comm, dims, oscs, dt=0.05)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            sensors = SensorProbeAnalysis(points=points)
+            bridge.add_analysis(sensors)
+            bridge.initialize()
+            sim.run(steps, bridge)
+            out = bridge.finalize()
+            return out.get("SensorProbeAnalysis") if comm.rank == 0 else None
+
+        return run_spmd(nranks, prog)[0]
+
+    def test_series_shape(self):
+        pts = np.array([[0.5, 0.5, 0.5], [0.25, 0.75, 0.5]])
+        out = self._run(2, pts, steps=5)
+        assert out["series"].shape == (5, 2)
+        assert out["times"].shape == (5,)
+        assert out["inside"].all()
+
+    def test_sensor_at_oscillator_center_tracks_signal(self):
+        """A sensor on a periodic oscillator's center reads ~cos(omega t)."""
+        osc = Oscillator(OscillatorKind.PERIODIC, (0.5, 0.5, 0.5), 0.3, 2 * math.pi)
+        # Grid point lies exactly at the center for odd dims - 1 spacing:
+        pts = np.array([[0.5, 0.5, 0.5]])
+        out = self._run(1, pts, steps=10, dims=(9, 9, 9), oscillators=[osc])
+        for t, v in zip(out["times"], out["series"][:, 0]):
+            assert v == pytest.approx(math.cos(2 * math.pi * t), abs=1e-9)
+
+    def test_parallel_matches_serial(self):
+        pts = np.random.default_rng(0).random((6, 3)) * 0.9
+        serial = self._run(1, pts)
+        for n in (2, 4):
+            parallel = self._run(n, pts)
+            np.testing.assert_allclose(parallel["series"], serial["series"], rtol=1e-12)
+
+    def test_outside_sensor_flagged(self):
+        pts = np.array([[0.5, 0.5, 0.5], [5.0, 5.0, 5.0]])
+        out = self._run(2, pts, steps=2)
+        assert out["inside"].tolist() == [True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorProbeAnalysis(points=np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            SensorProbeAnalysis(points=np.zeros((3, 2)))
+
+    def test_configurable_registration(self):
+        from repro.core import ConfigurableAnalysis
+        from repro.util import Configuration
+
+        ca = ConfigurableAnalysis(
+            Configuration(
+                {"analyses": [{"type": "sensors", "points": [[0.1, 0.2, 0.3]]}]}
+            )
+        )
+        assert ca.analyses[0].points.shape == (1, 3)

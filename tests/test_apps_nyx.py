@@ -1,0 +1,231 @@
+"""Tests for the Nyx proxy (particle-mesh gravity, distributed FFT,
+ghost-blanked SENSEI exposure)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import HistogramAnalysis
+from repro.analysis.slice_ import SlicePlane
+from repro.apps.nyx_proxy import NyxSimulation
+from repro.core import Bridge
+from repro.data import Association, GHOST_ARRAY_NAME
+from repro.infrastructure.catalyst import CatalystAdaptor
+from repro.mpi import SUM, run_spmd
+from repro.render import decode_png
+
+
+class TestDeposit:
+    def test_mass_conserved(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=16, seed=1)
+            sim.deposit()
+            # Owned (non-halo) mass, in overdensity units: mean must be 1.
+            local = float(sim.density[1:-1].sum())
+            total = comm.allreduce(local, SUM)
+            return total / sim.grid**3
+
+        for n in (1, 2, 4):
+            assert run_spmd(n, prog)[0] == pytest.approx(1.0, rel=1e-12)
+
+    def test_parallel_density_matches_serial(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=5)
+            sim.deposit()
+            return sim.x_lo, sim.density[1:-1].copy()
+
+        serial = run_spmd(1, prog)[0][1]
+        for n in (2, 3):
+            pieces = sorted(run_spmd(n, prog), key=lambda p: p[0])
+            assembled = np.concatenate([d for _, d in pieces], axis=0)
+            np.testing.assert_allclose(assembled, serial, rtol=1e-10, atol=1e-12)
+
+    def test_uniform_lattice_gives_uniform_density(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=8, perturbation=0.0, seed=0)
+            sim.deposit()
+            d = sim.density[1:-1]
+            return float(d.min()), float(d.max())
+
+        dmin, dmax = run_spmd(2, prog)[0]
+        assert dmin == pytest.approx(1.0, rel=1e-9)
+        assert dmax == pytest.approx(1.0, rel=1e-9)
+
+
+class TestPoisson:
+    def test_matches_serial_fft(self):
+        """The distributed transpose-FFT equals a plain 3-D FFT solve."""
+
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=7)
+            sim.deposit()
+            sim.solve_poisson()
+            return sim.x_lo, sim.density[1:-1].copy(), sim.potential[1:-1].copy()
+
+        serial_pieces = run_spmd(1, prog)
+        rho = serial_pieces[0][1]
+        phi_serial = serial_pieces[0][2]
+        # Independent reference solve.
+        g = 12
+        f = np.fft.fftn(rho)
+        k = 2 * np.pi * np.fft.fftfreq(g, d=1.0 / g)
+        k2 = k[:, None, None] ** 2 + k[None, :, None] ** 2 + k[None, None, :] ** 2
+        with np.errstate(divide="ignore", invalid="ignore"):
+            f = np.where(k2 > 0, -f / k2, 0.0)
+        phi_ref = np.fft.ifftn(f).real
+        np.testing.assert_allclose(phi_serial, phi_ref, atol=1e-10)
+
+        for n in (2, 3, 4):
+            pieces = sorted(run_spmd(n, prog), key=lambda p: p[0])
+            phi = np.concatenate([p for _, _, p in pieces], axis=0)
+            np.testing.assert_allclose(phi, phi_ref, atol=1e-10)
+
+    def test_poisson_residual_small(self):
+        """Discrete check: the spectral solve satisfies Poisson's equation
+        (Laplacian via FFT of phi reproduces the source)."""
+
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=16, seed=2)
+            sim.deposit()
+            rho = sim.density[1:-1].copy()
+            sim.solve_poisson()
+            return rho, sim.potential[1:-1].copy()
+
+        rho, phi = run_spmd(1, prog)[0]
+        g = 16
+        k = 2 * np.pi * np.fft.fftfreq(g, d=1.0 / g)
+        k2 = k[:, None, None] ** 2 + k[None, :, None] ** 2 + k[None, None, :] ** 2
+        lap = np.fft.ifftn(-k2 * np.fft.fftn(phi)).real
+        # Laplacian(phi) = rho minus its mean (k=0 mode removed).
+        np.testing.assert_allclose(lap, rho - rho.mean(), atol=1e-8)
+
+
+class TestDynamics:
+    def test_particle_count_conserved_through_migration(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=3)
+            for _ in range(3):
+                sim.advance()
+            return comm.allreduce(sim.positions.shape[0], SUM), sim.total_particles
+
+        got, expected = run_spmd(3, prog)[0]
+        assert got == expected
+
+    def test_positions_stay_periodic(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=3, dt=0.2)
+            for _ in range(5):
+                sim.advance()
+            return float(sim.positions.min()), float(sim.positions.max())
+
+        lo, hi = run_spmd(2, prog)[0]
+        assert lo >= 0.0 and hi < 1.0
+
+    def test_gravity_clusters_overdensity(self):
+        """Structure formation: density variance grows under self-gravity."""
+
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=16, seed=9, gravity=6.0, dt=0.1)
+            sim.deposit()
+            v0 = float(np.var(sim.density[1:-1]))
+            for _ in range(8):
+                sim.advance()
+            sim.deposit()
+            return v0, float(np.var(sim.density[1:-1]))
+
+        v0, v1 = run_spmd(1, prog)[0]
+        assert v1 > v0
+
+    def test_parallel_evolution_matches_serial(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=11)
+            for _ in range(2):
+                sim.advance()
+            sim.deposit()
+            return sim.x_lo, sim.density[1:-1].copy()
+
+        serial = run_spmd(1, prog)[0][1]
+        pieces = sorted(run_spmd(3, prog), key=lambda p: p[0])
+        assembled = np.concatenate([d for _, d in pieces], axis=0)
+        np.testing.assert_allclose(assembled, serial, rtol=1e-8, atol=1e-10)
+
+
+class TestNyxAdaptor:
+    def test_density_view_zero_copy(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=1)
+            sim.deposit()
+            ad = sim.make_data_adaptor()
+            arr = ad.get_array(Association.POINT, "density")
+            return arr.is_zero_copy_of(sim.density)
+
+        assert all(run_spmd(2, prog))
+
+    def test_ghost_array_marks_halo_planes(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=1)
+            ad = sim.make_data_adaptor()
+            levels = ad.get_array(Association.POINT, GHOST_ARRAY_NAME).values
+            ext = sim.ghosted_extent()
+            lv = levels.reshape(ext.shape)
+            owned_planes = (lv == 0).all(axis=(1, 2)).sum()
+            ghost_planes = (lv == 1).all(axis=(1, 2)).sum()
+            return owned_planes, ghost_planes, sim.nx_local
+
+        for owned, ghost, nxl in run_spmd(3, prog):
+            assert owned == nxl
+            assert ghost in (1, 2)  # interior ranks have 2, edge ranks 1
+
+    def test_histogram_excludes_ghosts(self):
+        """In situ histogram over the ghosted slab counts each cell once."""
+
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=12, seed=1)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            hist = HistogramAnalysis(bins=16, array="density")
+            bridge.add_analysis(hist)
+            bridge.initialize()
+            sim.run(1, bridge)
+            bridge.finalize()
+            return hist.history[-1] if comm.rank == 0 else None
+
+        for n in (1, 2, 4):
+            h = run_spmd(n, prog)[0]
+            assert h.total == 12**3, f"{n} ranks counted ghosts"
+
+    def test_catalyst_slice_over_nyx(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=16, seed=4, gravity=5.0)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            cat = CatalystAdaptor(
+                plane=SlicePlane(axis=2, index=8),
+                array="density",
+                resolution=(48, 48),
+            )
+            bridge.add_analysis(cat)
+            bridge.initialize()
+            sim.run(2, bridge)
+            bridge.finalize()
+            return cat.last_png
+
+        png = run_spmd(2, prog)[0]
+        img = decode_png(png)
+        assert img.shape == (48, 48, 3)
+        assert img.std() > 1.0
+
+    def test_unknown_array(self):
+        def prog(comm):
+            sim = NyxSimulation(comm, grid=8)
+            ad = sim.make_data_adaptor()
+            with pytest.raises(KeyError):
+                ad.get_array(Association.POINT, "temperature")
+
+        run_spmd(1, prog)
+
+    def test_validation(self):
+        from repro.mpi import SPMDError
+
+        def prog(comm):
+            NyxSimulation(comm, grid=2)
+
+        with pytest.raises(SPMDError):
+            run_spmd(4, prog)

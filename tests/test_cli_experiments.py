@@ -1,0 +1,64 @@
+"""Tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import available_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        names = set(available_experiments())
+        expected = {
+            "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig15", "fig16", "fig17",
+            "table1", "table2",
+        }
+        assert expected <= names
+
+    def test_every_experiment_runs(self):
+        for name in available_experiments():
+            header, rows = run_experiment(name)
+            assert isinstance(header, str) and header
+            assert rows, f"{name} produced no rows"
+            for row in rows:
+                assert isinstance(row, str)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_table1_row_content(self):
+        _, rows = run_experiment("table1")
+        assert len(rows) == 3
+        assert rows[0].startswith("1K")
+        assert "45440" in rows[2]
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "fig17" in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "VTK I/O" in out
+        assert "45440" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig10", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig10" in out and "=== fig15" in out
+
+    def test_run_all(self, capsys):
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in available_experiments():
+            assert f"=== {name}" in out
+
+    def test_unknown_is_error(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""Tests for the Freeprocessing-style interception interface."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import HistogramAnalysis
+from repro.core import Bridge
+from repro.core.freeprocessing import InterceptingWriter
+from repro.data import Association
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.storage import read_global_field
+
+DIMS = (10, 8, 6)
+STEPS = 2
+
+
+def _run_intercepted(tmpdir, passthrough):
+    def prog(comm):
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), dt=0.1)
+        writer = InterceptingWriter(
+            comm, [HistogramAnalysis(bins=16)], passthrough=passthrough
+        )
+        ad = sim.make_data_adaptor()
+        for _ in range(STEPS):
+            sim.advance()
+            mesh = ad.get_mesh()
+            mesh.add_array(Association.POINT, ad.get_array(Association.POINT, "data"))
+            writer.write_timestep(tmpdir, sim.step, sim.time, mesh, "data")
+            ad.release_data()
+        return writer.finalize()
+
+    return run_spmd(4, prog)
+
+
+def _run_sensei():
+    def prog(comm):
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), dt=0.1)
+        bridge = Bridge(comm, sim.make_data_adaptor())
+        hist = HistogramAnalysis(bins=16)
+        bridge.add_analysis(hist)
+        bridge.initialize()
+        sim.run(STEPS, bridge)
+        bridge.finalize()
+        return hist.history
+
+    return run_spmd(4, prog)[0]
+
+
+class TestInterception:
+    def test_histogram_matches_sensei_path(self, tmp_path):
+        """No instrumentation, same results: the Freeprocessing promise."""
+        reference = _run_sensei()
+        out = _run_intercepted(str(tmp_path), passthrough=False)
+        history = out[0]["HistogramAnalysis"]
+        assert len(history) == STEPS
+        for ref, got in zip(reference, history):
+            assert np.array_equal(ref.counts, got.counts)
+
+    def test_double_copy_accounted(self, tmp_path):
+        """...and the cost: every step serializes AND deserializes."""
+        out = _run_intercepted(str(tmp_path), passthrough=False)
+        per_rank_bytes = out[0]["bytes_serialized"]
+        assert per_rank_bytes > 0
+        assert out[0]["bytes_deserialized"] == per_rank_bytes
+        # Total across ranks = steps x full field size.
+        total = sum(o["bytes_serialized"] for o in out)
+        assert total == STEPS * DIMS[0] * DIMS[1] * DIMS[2] * 8
+
+    def test_passthrough_still_writes_files(self, tmp_path):
+        _run_intercepted(str(tmp_path), passthrough=True)
+        field = read_global_field(str(tmp_path), STEPS)
+        assert field.shape == DIMS
+        assert np.abs(field).max() > 0
+
+    def test_no_passthrough_writes_nothing(self, tmp_path):
+        _run_intercepted(str(tmp_path / "empty"), passthrough=False)
+        assert not (tmp_path / "empty").exists()
+
+    def test_analyses_get_correct_times(self, tmp_path):
+        times = []
+
+        from repro.core.adaptors import AnalysisAdaptor
+
+        class Probe(AnalysisAdaptor):
+            def execute(self, data):
+                times.append((data.get_data_time_step(), data.get_data_time()))
+                return True
+
+        def prog(comm):
+            sim = OscillatorSimulation(comm, DIMS, default_oscillators(), dt=0.5)
+            writer = InterceptingWriter(comm, [Probe()])
+            ad = sim.make_data_adaptor()
+            sim.advance()
+            mesh = ad.get_mesh()
+            mesh.add_array(Association.POINT, ad.get_array(Association.POINT, "data"))
+            writer.write_timestep(str(tmp_path), sim.step, sim.time, mesh, "data")
+
+        run_spmd(1, prog)
+        assert times == [(1, 0.5)]
+
+    def test_intercepted_arrays_are_copies(self, tmp_path):
+        """The analyses never alias simulation memory through this path."""
+        from repro.core.adaptors import AnalysisAdaptor
+
+        captured = {}
+
+        class Capture(AnalysisAdaptor):
+            def execute(self, data):
+                captured["arr"] = data.get_array(Association.POINT, "data").values
+                return True
+
+        def prog(comm):
+            sim = OscillatorSimulation(comm, DIMS, default_oscillators())
+            writer = InterceptingWriter(comm, [Capture()])
+            ad = sim.make_data_adaptor()
+            sim.advance()
+            mesh = ad.get_mesh()
+            mesh.add_array(Association.POINT, ad.get_array(Association.POINT, "data"))
+            writer.write_timestep(str(tmp_path), sim.step, sim.time, mesh, "data")
+            return bool(np.shares_memory(captured["arr"], sim.field))
+
+        assert run_spmd(1, prog) == [False]

@@ -1,0 +1,167 @@
+"""Tests for node-level thread parallelism and the hybrid analyses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.autocorrelation import AutocorrelationState
+from repro.analysis.histogram import local_histogram
+from repro.analysis.hybrid import (
+    HybridHistogramAnalysis,
+    ThreadedAutocorrelationState,
+    local_histogram_threaded,
+)
+from repro.core import Bridge
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.util.parallel import chunk_ranges, parallel_chunked, thread_map
+
+
+class TestChunkRanges:
+    def test_even(self):
+        assert chunk_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder(self):
+        assert chunk_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_items(self):
+        chunks = chunk_ranges(2, 8)
+        assert chunks == [(0, 1), (1, 2)]
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 4) == [(0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_partition_property(self, n, parts):
+        chunks = chunk_ranges(n, parts)
+        covered = sum(hi - lo for lo, hi in chunks)
+        assert covered == n
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            assert b == c
+
+
+class TestThreadMap:
+    def test_order_preserved(self):
+        out = thread_map(lambda x: x * 2, list(range(20)), n_threads=4)
+        assert out == [x * 2 for x in range(20)]
+
+    def test_single_thread_path(self):
+        assert thread_map(lambda x: x + 1, [1, 2], n_threads=1) == [2, 3]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("item 3")
+            return x
+
+        with pytest.raises(RuntimeError, match="item 3"):
+            thread_map(boom, list(range(8)), n_threads=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            thread_map(lambda x: x, [1], n_threads=0)
+
+    def test_parallel_chunked(self):
+        acc = []
+        import threading
+
+        lock = threading.Lock()
+
+        def work(lo, hi):
+            with lock:
+                acc.append((lo, hi))
+            return hi - lo
+
+        sizes = parallel_chunked(work, 100, 4)
+        assert sum(sizes) == 100
+        assert sorted(acc)[0][0] == 0
+
+
+class TestHybridHistogram:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 500),
+        st.integers(1, 32),
+        st.integers(1, 6),
+        st.integers(0, 100),
+    )
+    def test_threaded_equals_serial_property(self, n, bins, threads, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=n)
+        vmin, vmax = float(values.min()), float(values.max())
+        serial = local_histogram(values, bins, vmin, vmax)
+        threaded = local_histogram_threaded(values, bins, vmin, vmax, threads)
+        assert np.array_equal(serial, threaded)
+
+    def test_adaptor_matches_flat_mpi_version(self):
+        from repro.analysis import HistogramAnalysis
+
+        def prog(comm, threads):
+            sim = OscillatorSimulation(comm, (10, 10, 10), default_oscillators())
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            hist = (
+                HybridHistogramAnalysis(bins=16, n_threads=threads)
+                if threads
+                else HistogramAnalysis(bins=16)
+            )
+            bridge.add_analysis(hist)
+            bridge.initialize()
+            sim.run(2, bridge)
+            bridge.finalize()
+            return hist.history
+
+        flat = run_spmd(2, prog, 0)[0]
+        hybrid = run_spmd(2, prog, 3)[0]
+        for a, b in zip(flat, hybrid):
+            assert np.array_equal(a.counts, b.counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridHistogramAnalysis(n_threads=0)
+
+
+class TestThreadedAutocorrelation:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(2, 64),
+        st.integers(1, 5),
+        st.integers(1, 4),
+        st.integers(0, 50),
+    )
+    def test_threaded_equals_serial_property(self, n, window, threads, seed):
+        rng = np.random.default_rng(seed)
+        serial = AutocorrelationState(window, n)
+        threaded = ThreadedAutocorrelationState(window, n, n_threads=threads)
+        for _ in range(window + 2):
+            v = rng.standard_normal(n)
+            serial.update(v)
+            threaded.update(v)
+        # Bit-identical: per-cell work is unreassociated.
+        assert np.array_equal(serial.corr, threaded.corr)
+        assert np.array_equal(serial.values, threaded.values)
+
+    def test_topk_identical(self):
+        rng = np.random.default_rng(5)
+        a = AutocorrelationState(3, 50)
+        b = ThreadedAutocorrelationState(3, 50, n_threads=4)
+        for _ in range(6):
+            v = rng.standard_normal(50)
+            a.update(v)
+            b.update(v)
+        assert a.local_top_k(4) == b.local_top_k(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadedAutocorrelationState(2, 10, n_threads=0)
+        st_ = ThreadedAutocorrelationState(2, 10, n_threads=2)
+        with pytest.raises(ValueError):
+            st_.update(np.zeros(5))

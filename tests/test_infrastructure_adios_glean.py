@@ -1,0 +1,256 @@
+"""Tests for the ADIOS (BP + FlexPath staging) and GLEAN emulations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import HistogramAnalysis
+from repro.analysis.autocorrelation import AutocorrelationAnalysis
+from repro.analysis.slice_ import SlicePlane
+from repro.core import Bridge
+from repro.infrastructure import GleanAdaptor
+from repro.infrastructure.adios import (
+    AdiosBPAdaptor,
+    endpoint_for_writer,
+    run_flexpath_job,
+    writers_for_endpoint,
+)
+from repro.infrastructure.catalyst import CatalystAdaptor
+from repro.infrastructure.glean import read_glean_step
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.render import decode_png
+from repro.storage import BPReader
+
+
+class TestWriterEndpointMapping:
+    def test_balanced_mapping(self):
+        assert [endpoint_for_writer(w, 4, 2) for w in range(4)] == [0, 0, 1, 1]
+        assert writers_for_endpoint(0, 4, 2) == [0, 1]
+        assert writers_for_endpoint(1, 4, 2) == [2, 3]
+
+    def test_uneven_mapping_covers_all(self):
+        n_writers, n_endpoints = 5, 2
+        assigned = [
+            w
+            for e in range(n_endpoints)
+            for w in writers_for_endpoint(e, n_writers, n_endpoints)
+        ]
+        assert sorted(assigned) == list(range(n_writers))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            endpoint_for_writer(7, 4, 2)
+
+
+class TestAdiosBP:
+    def test_bp_mode_roundtrip(self, tmp_path):
+        dims = (8, 6, 4)
+        path = tmp_path / "sim"
+
+        def prog(comm):
+            sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            bridge.add_analysis(AdiosBPAdaptor(path))
+            bridge.initialize()
+            sim.run(2, bridge)
+            bridge.finalize()
+            return sim.extent, sim.field.copy()
+
+        out = run_spmd(4, prog)
+        expected = np.zeros(dims)
+        for ext, block in out:
+            expected[
+                ext.i0 : ext.i1 + 1, ext.j0 : ext.j1 + 1, ext.k0 : ext.k1 + 1
+            ] = block
+        reader = BPReader(path)
+        assert reader.num_steps == 2
+        np.testing.assert_allclose(reader.read("data", 1), expected, rtol=1e-12)
+
+
+def _writer_program_factory(dims, steps):
+    def writer_program(comm, writer):
+        sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+        bridge = Bridge(comm, sim.make_data_adaptor())
+        bridge.add_analysis(writer)
+        bridge.initialize()
+        sim.run(steps, bridge)
+        bridge.finalize()
+        return {
+            "extent": sim.extent,
+            "field": sim.field.copy(),
+            "steps_sent": writer.steps_sent,
+        }
+
+    return writer_program
+
+
+class TestFlexPathStaging:
+    def test_histogram_in_transit_matches_in_situ(self):
+        """The staged histogram equals the histogram computed in situ."""
+        dims = (10, 8, 6)
+        steps = 2
+
+        # In situ reference.
+        def insitu(comm):
+            sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            hist = HistogramAnalysis(bins=16)
+            bridge.add_analysis(hist)
+            bridge.initialize()
+            sim.run(steps, bridge)
+            bridge.finalize()
+            return hist.history
+
+        reference = run_spmd(4, insitu)[0]
+
+        result = run_flexpath_job(
+            n_writers=4,
+            n_endpoints=2,
+            writer_program=_writer_program_factory(dims, steps),
+            analysis_factory=lambda comm: HistogramAnalysis(bins=16),
+        )
+        assert all(w["steps_sent"] == steps for w in result.writer_results)
+        staged_history = result.endpoint_results[0]["result"]
+        assert staged_history is not None
+        assert len(staged_history) == steps
+        for ref, staged in zip(reference, staged_history):
+            assert np.array_equal(ref.counts, staged.counts)
+            assert ref.vmin == pytest.approx(staged.vmin)
+            assert ref.vmax == pytest.approx(staged.vmax)
+
+    def test_autocorrelation_in_transit(self):
+        dims = (8, 8, 8)
+        result = run_flexpath_job(
+            n_writers=4,
+            n_endpoints=2,
+            writer_program=_writer_program_factory(dims, 6),
+            analysis_factory=lambda comm: AutocorrelationAnalysis(window=3, k=2),
+        )
+        res = result.endpoint_results[0]["result"]
+        assert res is not None
+        assert res.window == 3
+        assert all(len(t) == 2 for t in res.top)
+
+    def test_catalyst_slice_in_transit_matches_in_situ(self):
+        """Fig. 2's chain: simulation -> ADIOS -> Catalyst, image-identical
+        to running Catalyst inline."""
+        dims = (10, 10, 8)
+        plane = SlicePlane(axis=2, index=4)
+
+        def insitu(comm):
+            sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            cat = CatalystAdaptor(plane=plane, resolution=(40, 32))
+            bridge.add_analysis(cat)
+            bridge.initialize()
+            sim.run(1, bridge)
+            bridge.finalize()
+            return cat.last_png
+
+        reference = decode_png(run_spmd(4, insitu)[0])
+
+        result = run_flexpath_job(
+            n_writers=4,
+            n_endpoints=2,
+            writer_program=_writer_program_factory(dims, 1),
+            analysis_factory=lambda comm: CatalystAdaptor(
+                plane=plane, resolution=(40, 32)
+            ),
+        )
+        png = result.endpoint_results[0]["result"]
+        # Endpoint group root holds the image.
+        cat_result = png
+        assert cat_result["images_written"] == 1
+
+    def test_writer_timers_report_advance_and_analysis(self):
+        dims = (8, 8, 8)
+
+        def writer_program(comm, writer):
+            from repro.util import TimerRegistry
+
+            timers = TimerRegistry()
+            sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+            bridge = Bridge(comm, sim.make_data_adaptor(), timers=timers)
+            bridge.add_analysis(writer)
+            bridge.initialize()
+            sim.run(2, bridge)
+            bridge.finalize()
+            return timers.as_dict()
+
+        result = run_flexpath_job(
+            n_writers=2,
+            n_endpoints=1,
+            writer_program=writer_program,
+            analysis_factory=lambda comm: HistogramAnalysis(bins=8),
+        )
+        t = result.writer_results[0]
+        assert t["adios::advance"]["count"] == 2
+        assert t["adios::analysis"]["count"] == 2
+
+    def test_endpoint_timers(self):
+        result = run_flexpath_job(
+            n_writers=2,
+            n_endpoints=1,
+            writer_program=_writer_program_factory((6, 6, 6), 3),
+            analysis_factory=lambda comm: HistogramAnalysis(bins=8),
+        )
+        t = result.endpoint_results[0]["timers"]
+        assert t["endpoint::initialize"]["count"] == 1
+        assert t["endpoint::analysis"]["count"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_flexpath_job(0, 1, lambda c, w: None, lambda c: None)
+        with pytest.raises(ValueError):
+            run_flexpath_job(2, 4, lambda c, w: None, lambda c: None)
+
+
+class TestGlean:
+    def _run(self, tmp_path, nranks, rpa, asynchronous=False, steps=2, dims=(8, 6, 4)):
+        def prog(comm):
+            sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            glean = GleanAdaptor(
+                tmp_path, ranks_per_aggregator=rpa, asynchronous=asynchronous
+            )
+            bridge.add_analysis(glean)
+            bridge.initialize()
+            sim.run(steps, bridge)
+            results = bridge.finalize()
+            return sim.extent, sim.field.copy(), results
+
+        return run_spmd(nranks, prog)
+
+    def test_aggregated_write_roundtrip(self, tmp_path):
+        out = self._run(tmp_path, 4, rpa=2)
+        blocks = read_glean_step(tmp_path, 2)
+        assert sorted(blocks) == [0, 1, 2, 3]
+        for rank, (ext, data) in blocks.items():
+            expected_ext, expected_field, _ = out[rank]
+            assert ext == expected_ext
+            np.testing.assert_array_equal(data, expected_field)
+
+    def test_aggregator_count(self, tmp_path):
+        self._run(tmp_path, 4, rpa=2, steps=1)
+        import os
+
+        files = [f for f in os.listdir(tmp_path) if f.startswith("glean_step")]
+        assert len(files) == 2  # 4 ranks / 2 per aggregator
+
+    def test_async_mode_equivalent(self, tmp_path):
+        out = self._run(tmp_path, 4, rpa=4, asynchronous=True, steps=3)
+        blocks = read_glean_step(tmp_path, 3)
+        assert sorted(blocks) == [0, 1, 2, 3]
+        for rank, (ext, data) in blocks.items():
+            _, expected_field, _ = out[rank]
+            np.testing.assert_array_equal(data, expected_field)
+
+    def test_results_report_roles(self, tmp_path):
+        out = self._run(tmp_path, 4, rpa=2, steps=1)
+        roles = [o[2]["GleanAdaptor"]["aggregator"] for o in out]
+        assert roles == [True, False, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GleanAdaptor("x", ranks_per_aggregator=0)

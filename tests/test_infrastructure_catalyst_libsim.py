@@ -1,0 +1,236 @@
+"""Tests for the Catalyst and Libsim infrastructure emulations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.slice_ import SlicePlane
+from repro.core import Bridge
+from repro.infrastructure import (
+    CatalystAdaptor,
+    EDITIONS,
+    LibsimAdaptor,
+    write_session_file,
+)
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.render import decode_png
+from repro.util import MemoryTracker, TimerRegistry
+
+
+def _run_catalyst(nranks, dims=(12, 10, 8), steps=2, **kwargs):
+    def prog(comm):
+        timers = TimerRegistry()
+        mem = MemoryTracker()
+        sim = OscillatorSimulation(comm, dims, default_oscillators(), dt=0.1)
+        bridge = Bridge(comm, sim.make_data_adaptor(), timers=timers, memory=mem)
+        cat = CatalystAdaptor(
+            plane=SlicePlane(axis=2, index=dims[2] // 2),
+            resolution=kwargs.pop("resolution", (64, 48)),
+            **kwargs,
+        )
+        bridge.add_analysis(cat)
+        bridge.initialize()
+        sim.run(steps, bridge)
+        results = bridge.finalize()
+        return {
+            "png": cat.last_png,
+            "written": cat.images_written,
+            "timers": timers.names(),
+            "mem_static": mem.static,
+            "results": results,
+        }
+
+    return run_spmd(nranks, prog)
+
+
+class TestCatalyst:
+    def test_writes_image_every_step(self):
+        out = _run_catalyst(1, steps=3)[0]
+        assert out["written"] == 3
+        assert out["results"]["CatalystAdaptor"]["images_written"] == 3
+
+    def test_png_decodes_to_resolution(self):
+        out = _run_catalyst(1, resolution=(64, 48))[0]
+        img = decode_png(out["png"])
+        assert img.shape == (48, 64, 3)
+
+    def test_image_fully_covered_and_nontrivial(self):
+        out = _run_catalyst(1)[0]
+        img = decode_png(out["png"])
+        # Full-domain slice: no background pixels, and actual color variation.
+        assert img.std() > 1.0
+
+    def test_parallel_image_matches_serial(self):
+        """Compositing invariant: N-rank render == 1-rank render."""
+        serial = decode_png(_run_catalyst(1)[0]["png"])
+        for n in (2, 4):
+            parallel_out = _run_catalyst(n)
+            png = parallel_out[0]["png"]
+            assert png is not None
+            np.testing.assert_array_equal(decode_png(png), serial)
+
+    def test_only_root_has_png(self):
+        out = _run_catalyst(4)
+        assert out[0]["png"] is not None
+        assert all(o["png"] is None for o in out[1:])
+
+    def test_edition_footprint_charged(self):
+        out = _run_catalyst(1, edition="full")[0]
+        assert out["mem_static"] >= EDITIONS["full"].static_bytes
+
+    def test_phase_timers_present(self):
+        names = _run_catalyst(2)[0]["timers"]
+        for phase in (
+            "catalyst::slice",
+            "catalyst::render",
+            "catalyst::composite",
+            "catalyst::png",
+        ):
+            assert phase in names
+
+    def test_frequency_skips_steps(self):
+        out = _run_catalyst(1, steps=4, frequency=2)[0]
+        assert out["written"] == 2
+
+    def test_output_dir_files(self, tmp_path):
+        _run_catalyst(1, steps=2, output_dir=str(tmp_path / "imgs"))
+        files = sorted((tmp_path / "imgs").glob("catalyst_*.png"))
+        assert len(files) == 2
+        assert decode_png(files[0].read_bytes()).shape == (48, 64, 3)
+
+    def test_unknown_edition_rejected(self):
+        with pytest.raises(ValueError):
+            CatalystAdaptor(SlicePlane(2, 0), edition="mystery")
+
+    def test_extract_edition_cannot_render(self):
+        with pytest.raises(ValueError):
+            CatalystAdaptor(SlicePlane(2, 0), edition="extract")
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            CatalystAdaptor(SlicePlane(2, 0), frequency=0)
+
+
+def _session(tmp_path, plots, resolution=(48, 48)):
+    path = tmp_path / "session.json"
+    write_session_file(path, plots, resolution=resolution)
+    return path
+
+
+class TestLibsim:
+    def test_slice_session_renders(self, tmp_path):
+        session = _session(
+            tmp_path,
+            [{"type": "pseudocolor_slice", "axis": 2, "index": 3, "colormap": "viridis"}],
+        )
+
+        def prog(comm):
+            sim = OscillatorSimulation(comm, (10, 10, 8), default_oscillators())
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            lib = LibsimAdaptor(session_file=session)
+            bridge.add_analysis(lib)
+            bridge.initialize()
+            sim.run(2, bridge)
+            bridge.finalize()
+            return lib.last_png, lib.images_written
+
+        png, n = run_spmd(2, prog)[0]
+        assert n == 2
+        assert decode_png(png).shape == (48, 48, 3)
+
+    def test_avf_style_session_iso_plus_slices(self, tmp_path):
+        """The AVF-LESLIE visualization: 3 isosurfaces + 3 slice planes."""
+        session = _session(
+            tmp_path,
+            [
+                {"type": "isosurface", "isovalues": [0.2, 0.5, 0.8]},
+                {"type": "pseudocolor_slice", "axis": 0, "index": 4},
+                {"type": "pseudocolor_slice", "axis": 1, "index": 4},
+                {"type": "pseudocolor_slice", "axis": 2, "index": 4},
+            ],
+        )
+
+        def prog(comm):
+            sim = OscillatorSimulation(comm, (10, 10, 10), default_oscillators())
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            lib = LibsimAdaptor(session_file=session)
+            bridge.add_analysis(lib)
+            bridge.initialize()
+            sim.run(1, bridge)
+            bridge.finalize()
+            return lib.last_png
+
+        png = run_spmd(1, prog)[0]
+        img = decode_png(png)
+        assert img.shape == (48, 48, 3)
+        assert img.std() > 1.0
+
+    def test_per_rank_session_parse_timed(self, tmp_path):
+        session = _session(tmp_path, [{"type": "pseudocolor_slice"}])
+
+        def prog(comm):
+            timers = TimerRegistry()
+            sim = OscillatorSimulation(comm, (8, 8, 8), default_oscillators())
+            bridge = Bridge(comm, sim.make_data_adaptor(), timers=timers)
+            bridge.add_analysis(LibsimAdaptor(session_file=session))
+            bridge.initialize()
+            return timers.timer("libsim::session_parse").count
+
+        # Every rank parses the session file once.
+        assert run_spmd(4, prog) == [1, 1, 1, 1]
+
+    def test_frequency_sawtooth(self, tmp_path):
+        """With frequency=5, 4/5 executes are cheap no-ops (Fig. 16)."""
+        session = _session(tmp_path, [{"type": "pseudocolor_slice", "index": 2}])
+
+        def prog(comm):
+            timers = TimerRegistry()
+            sim = OscillatorSimulation(comm, (8, 8, 8), default_oscillators())
+            bridge = Bridge(comm, sim.make_data_adaptor(), timers=timers)
+            lib = LibsimAdaptor(session_file=session, frequency=5)
+            bridge.add_analysis(lib)
+            bridge.initialize()
+            sim.run(10, bridge)
+            bridge.finalize()
+            return lib.images_written, timers.timer("libsim::render").count
+
+        written, renders = run_spmd(1, prog)[0]
+        assert written == 2  # steps 5 and 10
+        assert renders == 2
+
+    def test_parallel_matches_serial(self, tmp_path):
+        session = _session(
+            tmp_path, [{"type": "pseudocolor_slice", "axis": 2, "index": 4}]
+        )
+
+        def prog(comm):
+            sim = OscillatorSimulation(comm, (10, 10, 10), default_oscillators())
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            lib = LibsimAdaptor(session_file=session)
+            bridge.add_analysis(lib)
+            bridge.initialize()
+            sim.run(1, bridge)
+            bridge.finalize()
+            return lib.last_png
+
+        serial = decode_png(run_spmd(1, prog)[0])
+        for n in (2, 4):
+            png = run_spmd(n, prog)[0]
+            np.testing.assert_array_equal(decode_png(png), serial)
+
+    def test_unknown_plot_type_rejected(self, tmp_path):
+        from repro.util.config import ConfigError
+
+        session = _session(tmp_path, [{"type": "volume_render"}])
+
+        def prog(comm):
+            lib = LibsimAdaptor(session_file=session)
+            with pytest.raises(ConfigError):
+                lib.initialize(comm)
+
+        run_spmd(1, prog)
+
+    def test_invalid_frequency(self, tmp_path):
+        with pytest.raises(ValueError):
+            LibsimAdaptor(session_file="x", frequency=0)

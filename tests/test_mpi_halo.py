@@ -1,0 +1,176 @@
+"""Tests for the generic structured halo exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_spmd
+from repro.mpi.halo import HaloExchanger
+
+
+def _global_field(dims, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(dims)
+
+
+def _expected_ghosted(field, ext, depth, periodic):
+    """Reference ghosted block computed from the global field."""
+    dims = field.shape
+    ni, nj, nk = ext.shape
+    out = np.empty((ni + 2 * depth, nj + 2 * depth, nk + 2 * depth))
+    for li in range(out.shape[0]):
+        for lj in range(out.shape[1]):
+            for lk in range(out.shape[2]):
+                gi = ext.i0 + li - depth
+                gj = ext.j0 + lj - depth
+                gk = ext.k0 + lk - depth
+                g = [gi, gj, gk]
+                for a in range(3):
+                    if periodic[a]:
+                        g[a] %= dims[a]
+                    else:
+                        g[a] = min(max(g[a], 0), dims[a] - 1)
+                out[li, lj, lk] = field[g[0], g[1], g[2]]
+    return out
+
+
+class TestHaloExchange:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    @pytest.mark.parametrize("periodic", [(True, True, True), (False, False, False)])
+    def test_ghosts_match_global_field(self, nranks, periodic):
+        dims = (8, 6, 6)
+        field = _global_field(dims)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims, depth=1, periodic=periodic)
+            ghosted = ex.allocate_ghosted()
+            e = ex.extent
+            owned = field[e.i0 : e.i1 + 1, e.j0 : e.j1 + 1, e.k0 : e.k1 + 1]
+            ex.scatter_field(ghosted, owned)
+            return e, ghosted
+
+        for ext, ghosted in run_spmd(nranks, prog):
+            expected = _expected_ghosted(field, ext, 1, periodic)
+            np.testing.assert_allclose(ghosted, expected, rtol=0, atol=0)
+
+    def test_depth_two(self):
+        dims = (12, 6, 6)
+        field = _global_field(dims, seed=3)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims, depth=2)
+            ghosted = ex.allocate_ghosted()
+            e = ex.extent
+            ex.scatter_field(
+                ghosted, field[e.i0 : e.i1 + 1, e.j0 : e.j1 + 1, e.k0 : e.k1 + 1]
+            )
+            return e, ghosted
+
+        for ext, ghosted in run_spmd(3, prog):
+            expected = _expected_ghosted(field, ext, 2, (True, True, True))
+            np.testing.assert_allclose(ghosted, expected)
+
+    def test_mixed_periodicity(self):
+        dims = (8, 8, 4)
+        field = _global_field(dims, seed=5)
+        periodic = (True, False, True)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims, periodic=periodic)
+            ghosted = ex.allocate_ghosted()
+            e = ex.extent
+            ex.scatter_field(
+                ghosted, field[e.i0 : e.i1 + 1, e.j0 : e.j1 + 1, e.k0 : e.k1 + 1]
+            )
+            return e, ghosted
+
+        for ext, ghosted in run_spmd(4, prog):
+            expected = _expected_ghosted(field, ext, 1, periodic)
+            np.testing.assert_allclose(ghosted, expected)
+
+    def test_corner_ghosts_filled(self):
+        """Dimension-by-dimension exchange must fill corners too."""
+        dims = (6, 6, 6)
+        field = _global_field(dims, seed=7)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims)
+            ghosted = ex.allocate_ghosted()
+            e = ex.extent
+            ex.scatter_field(
+                ghosted, field[e.i0 : e.i1 + 1, e.j0 : e.j1 + 1, e.k0 : e.k1 + 1]
+            )
+            return e, ghosted[0, 0, 0]
+
+        for ext, corner in run_spmd(8, prog):
+            gi = (ext.i0 - 1) % 6
+            gj = (ext.j0 - 1) % 6
+            gk = (ext.k0 - 1) % 6
+            assert corner == field[gi, gj, gk]
+
+    def test_interior_slices(self):
+        def prog(comm):
+            ex = HaloExchanger(comm, (8, 8, 8), depth=2)
+            g = ex.allocate_ghosted()
+            g[ex.interior()] = 1.0
+            return float(g.sum()), ex.extent.num_points
+
+        total, npts = run_spmd(2, prog)[0]
+        assert total == npts
+
+    def test_validation(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                HaloExchanger(comm, (8, 8, 8), depth=0)
+            ex = HaloExchanger(comm, (8, 8, 8))
+            with pytest.raises(ValueError):
+                ex.exchange(np.zeros((3, 3, 3)))
+            with pytest.raises(ValueError):
+                ex.scatter_field(ex.allocate_ghosted(), np.zeros((2, 2, 2)))
+
+        run_spmd(1, prog)
+
+    def test_multicomponent_fields(self):
+        """Trailing component dimensions ride along untouched."""
+        dims = (6, 4, 4)
+        field = np.stack([_global_field(dims, s) for s in (0, 1)], axis=-1)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims)
+            g = np.zeros(ex.ghosted_shape + (2,))
+            e = ex.extent
+            g[ex.interior()] = field[
+                e.i0 : e.i1 + 1, e.j0 : e.j1 + 1, e.k0 : e.k1 + 1
+            ]
+            ex.exchange(g)
+            return e, g
+
+        for ext, g in run_spmd(2, prog):
+            for c in range(2):
+                expected = _expected_ghosted(
+                    field[..., c], ext, 1, (True, True, True)
+                )
+                np.testing.assert_allclose(g[..., c], expected)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nranks=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    def test_property_any_rank_count(self, nranks, seed):
+        dims = (6, 6, 6)
+        field = _global_field(dims, seed=seed)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims)
+            ghosted = ex.allocate_ghosted()
+            e = ex.extent
+            ex.scatter_field(
+                ghosted, field[e.i0 : e.i1 + 1, e.j0 : e.j1 + 1, e.k0 : e.k1 + 1]
+            )
+            return e, ghosted
+
+        for ext, ghosted in run_spmd(nranks, prog):
+            expected = _expected_ghosted(field, ext, 1, (True, True, True))
+            np.testing.assert_allclose(ghosted, expected)

@@ -1,0 +1,375 @@
+"""Tests for the thread-backed simulated MPI runtime.
+
+Everything downstream (histogram reductions, autocorrelation top-k merges,
+image compositing, ADIOS staging) rests on these semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.mpi as mpi
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIError, SPMDError, run_spmd
+
+
+def test_rank_and_size():
+    def prog(comm):
+        return (comm.rank, comm.size)
+
+    out = run_spmd(4, prog)
+    assert out == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+def test_single_rank_world():
+    assert run_spmd(1, lambda c: c.allreduce(5)) == [5]
+
+
+def test_invalid_nranks():
+    with pytest.raises(ValueError):
+        run_spmd(0, lambda c: None)
+
+
+def test_rank_args():
+    def prog(comm, common, mine):
+        return common + mine
+
+    assert run_spmd(3, prog, 10, rank_args=[(1,), (2,), (3,)]) == [11, 12, 13]
+
+
+def test_rank_args_wrong_length():
+    with pytest.raises(ValueError):
+        run_spmd(3, lambda c, x: x, rank_args=[(1,)])
+
+
+class TestPointToPoint:
+    def test_send_recv_scalar(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        out = run_spmd(2, prog)
+        assert out[1] == {"a": 7}
+
+    def test_send_recv_numpy_is_copied(self):
+        """Receiver must not alias the sender's buffer (separate address spaces)."""
+        shared = {}
+
+        def prog(comm):
+            if comm.rank == 0:
+                a = np.arange(10.0)
+                shared["sent"] = a
+                comm.send(a, dest=1)
+            else:
+                got = comm.recv(source=0)
+                shared["got"] = got
+
+        run_spmd(2, prog)
+        assert np.array_equal(shared["sent"], shared["got"])
+        assert shared["got"].base is None
+        assert not np.shares_memory(shared["sent"], shared["got"])
+
+    def test_tag_matching_out_of_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            b = comm.recv(source=0, tag=2)
+            a = comm.recv(source=0, tag=1)
+            return (a, b)
+
+        out = run_spmd(2, prog)
+        assert out[1] == ("first", "second")
+
+    def test_any_source_any_tag(self):
+        def prog(comm):
+            if comm.rank != 0:
+                comm.send(comm.rank, dest=0, tag=comm.rank)
+                return None
+            got = sorted(comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(comm.size - 1))
+            return got
+
+        out = run_spmd(4, prog)
+        assert out[0] == [1, 2, 3]
+
+    def test_recv_with_status(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=42)
+                return None
+            return comm.recv_with_status(ANY_SOURCE, ANY_TAG)
+
+        out = run_spmd(2, prog)
+        assert out[1] == ("x", 0, 42)
+
+    def test_sendrecv_ring(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        out = run_spmd(4, prog)
+        assert out == [3, 0, 1, 2]
+
+    def test_send_out_of_range_dest(self):
+        def prog(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(SPMDError):
+            run_spmd(2, prog)
+
+    def test_recv_timeout_is_deadlock_error(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(source=0)  # never sent
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, timeout=0.2)
+        assert any(isinstance(e, MPIError) for e in ei.value.failures.values())
+
+
+class TestCollectives:
+    def test_barrier_all_pass(self):
+        def prog(comm):
+            comm.barrier()
+            return True
+
+        assert run_spmd(8, prog) == [True] * 8
+
+    def test_bcast_scalar_and_array(self):
+        def prog(comm):
+            v = comm.bcast(42 if comm.rank == 0 else None)
+            a = comm.bcast(np.arange(5) if comm.rank == 0 else None)
+            return v, a.sum()
+
+        out = run_spmd(4, prog)
+        assert all(o == (42, 10) for o in out)
+
+    def test_bcast_nonzero_root(self):
+        def prog(comm):
+            return comm.bcast("hi" if comm.rank == 2 else None, root=2)
+
+        assert run_spmd(4, prog) == ["hi"] * 4
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.rank**2, root=1)
+
+        out = run_spmd(4, prog)
+        assert out[0] is None and out[2] is None and out[3] is None
+        assert out[1] == [0, 1, 4, 9]
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank + 1)
+
+        assert run_spmd(3, prog) == [[1, 2, 3]] * 3
+
+    def test_scatter(self):
+        def prog(comm):
+            data = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data)
+
+        assert run_spmd(4, prog) == [0, 10, 20, 30]
+
+    def test_scatter_wrong_length_raises(self):
+        def prog(comm):
+            data = [1] if comm.rank == 0 else None
+            return comm.scatter(data)
+
+        with pytest.raises(SPMDError):
+            run_spmd(2, prog)
+
+    def test_reduce_sum_scalar(self):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, op=mpi.SUM, root=0)
+
+        out = run_spmd(4, prog)
+        assert out[0] == 10
+        assert out[1:] == [None, None, None]
+
+    def test_allreduce_ops(self):
+        def prog(comm):
+            v = float(comm.rank + 1)
+            return (
+                comm.allreduce(v, mpi.SUM),
+                comm.allreduce(v, mpi.MIN),
+                comm.allreduce(v, mpi.MAX),
+                comm.allreduce(v, mpi.PROD),
+            )
+
+        out = run_spmd(4, prog)
+        assert out == [(10.0, 1.0, 4.0, 24.0)] * 4
+
+    def test_allreduce_numpy_elementwise(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, comm.rank, dtype=np.int64), mpi.SUM)
+
+        out = run_spmd(4, prog)
+        for a in out:
+            assert np.array_equal(a, np.full(3, 6))
+
+    def test_allreduce_minmax_fused(self):
+        def prog(comm):
+            return comm.allreduce_minmax(float(comm.rank * 2 + 1))
+
+        out = run_spmd(5, prog)
+        assert out == [(1.0, 9.0)] * 5
+
+    def test_alltoall(self):
+        def prog(comm):
+            return comm.alltoall([comm.rank * 10 + d for d in range(comm.size)])
+
+        out = run_spmd(3, prog)
+        assert out[0] == [0, 10, 20]
+        assert out[1] == [1, 11, 21]
+        assert out[2] == [2, 12, 22]
+
+    def test_alltoall_wrong_length(self):
+        with pytest.raises(SPMDError):
+            run_spmd(3, lambda c: c.alltoall([1, 2]))
+
+    def test_exscan(self):
+        def prog(comm):
+            return comm.exscan(comm.rank + 1, mpi.SUM)
+
+        assert run_spmd(4, prog) == [None, 1, 3, 6]
+
+    def test_collectives_reused_many_times(self):
+        """Slot/barrier reuse across many sequential collectives is safe."""
+
+        def prog(comm):
+            total = 0
+            for i in range(200):
+                total += comm.allreduce(i + comm.rank)
+            return total
+
+        out = run_spmd(4, prog)
+        assert len(set(out)) == 1
+
+    def test_reduction_determinism(self):
+        """Rank-ordered folding => bitwise identical results on every rank."""
+
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.random(16), mpi.SUM)
+
+        a = run_spmd(4, prog)
+        b = run_spmd(4, prog)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+        assert np.array_equal(a[0], a[3])
+
+    def test_on_root(self):
+        def prog(comm):
+            return comm.on_root(lambda: "root-made")
+
+        assert run_spmd(3, prog) == ["root-made"] * 3
+
+
+class TestSplit:
+    def test_split_even_odd(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.allreduce(comm.rank))
+
+        out = run_spmd(4, prog)
+        # evens: world 0,2 -> sum 2 ; odds: world 1,3 -> sum 4
+        assert out[0] == (0, 2, 2)
+        assert out[2] == (1, 2, 2)
+        assert out[1] == (0, 2, 4)
+        assert out[3] == (1, 2, 4)
+
+    def test_split_undefined_color(self):
+        def prog(comm):
+            sub = comm.split(color=0 if comm.rank == 0 else -1)
+            return sub if sub is None else sub.size
+
+        out = run_spmd(3, prog)
+        assert out == [1, None, None]
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        out = run_spmd(3, prog)
+        assert out == [2, 1, 0]
+
+    def test_sequential_splits(self):
+        def prog(comm):
+            a = comm.split(color=comm.rank % 2)
+            b = comm.split(color=comm.rank // 2)
+            return (a.size, b.size)
+
+        out = run_spmd(4, prog)
+        assert out == [(2, 2)] * 4
+
+    def test_subcommunicator_isolated_from_parent(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                sub.send(comm.rank, dest=1 % sub.size) if sub.size > 1 else None
+            got = sub.recv(source=0) if sub.rank == 1 else None
+            comm.barrier()
+            return got
+
+        out = run_spmd(4, prog)
+        assert out[2] == 0 and out[3] == 1
+
+    def test_dup(self):
+        def prog(comm):
+            d = comm.dup()
+            return (d.rank, d.size, d.allreduce(1))
+
+        assert run_spmd(3, prog) == [(0, 3, 3), (1, 3, 3), (2, 3, 3)]
+
+
+class TestFailurePropagation:
+    def test_exception_reported_with_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom on 2")
+            comm.barrier()
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(4, prog, timeout=5.0)
+        assert 2 in ei.value.failures
+        assert "boom on 2" in str(ei.value)
+
+    def test_mismatched_collectives_deadlock_detected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            # rank 1 never calls barrier
+
+        with pytest.raises(SPMDError):
+            run_spmd(2, prog, timeout=0.3)
+
+
+class TestReduceOps:
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            mpi.SUM.reduce([])
+
+    def test_fold_order(self):
+        assert mpi.SUM.reduce([1, 2, 3]) == 6
+        assert mpi.MIN.reduce([3, 1, 2]) == 1
+        assert mpi.MAX.reduce([3, 1, 2]) == 3
+        assert mpi.PROD.reduce([2, 3, 4]) == 24
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8), st.integers(2, 6))
+    def test_allreduce_matches_local_fold(self, values, nranks):
+        """allreduce(v_r) == fold of per-rank values, for any value set."""
+        vals = (values * nranks)[:nranks]
+
+        def prog(comm):
+            return comm.allreduce(vals[comm.rank], mpi.SUM)
+
+        expected = mpi.SUM.reduce(vals)
+        out = run_spmd(nranks, prog)
+        assert all(o == pytest.approx(expected) for o in out)

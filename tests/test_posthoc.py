@@ -1,0 +1,166 @@
+"""Tests for the post hoc pipeline: write with N ranks, analyze with N/k
+readers, and check the products agree with the in situ path."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AutocorrelationAnalysis, HistogramAnalysis
+from repro.core import Bridge
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.posthoc import run_posthoc_analysis
+from repro.render import decode_png
+from repro.storage import write_timestep
+from repro.util import TimerRegistry
+
+DIMS = (12, 10, 8)
+STEPS = 3
+
+
+@pytest.fixture(scope="module")
+def written_run(tmp_path_factory):
+    """A 4-writer miniapp run with every step stored, plus the in situ
+    histogram/autocorrelation products for comparison."""
+    directory = tmp_path_factory.mktemp("sim_output")
+
+    def writer(comm):
+        sim = OscillatorSimulation(comm, DIMS, default_oscillators(), dt=0.1)
+        bridge = Bridge(comm, sim.make_data_adaptor())
+        hist = HistogramAnalysis(bins=16)
+        ac = AutocorrelationAnalysis(window=2, k=3)
+        bridge.add_analysis(hist)
+        bridge.add_analysis(ac)
+        bridge.initialize()
+        for _ in range(STEPS):
+            sim.advance()
+            bridge.execute(sim.time, sim.step)
+            img = sim.make_data_adaptor().get_mesh()
+            from repro.data import Association
+
+            img.add_array(
+                Association.POINT,
+                sim.make_data_adaptor().get_array(Association.POINT, "data"),
+            )
+            write_timestep(comm, directory, sim.step, sim.time, img, "data")
+        bridge.finalize()
+        return hist.history, ac.result
+
+    results = run_spmd(4, writer)
+    return directory, results[0]
+
+
+class TestPosthocHistogram:
+    def test_matches_insitu(self, written_run):
+        directory, (insitu_hist, _) = written_run
+
+        def reader(comm):
+            return run_posthoc_analysis(
+                comm, directory, steps=[1, 2, 3], analysis="histogram", bins=16
+            )
+
+        # 1 reader vs the 4 writers (the few-readers pattern).
+        res = run_spmd(1, reader)[0]
+        assert len(res.histograms) == STEPS
+        for mine, ref in zip(res.histograms, insitu_hist):
+            assert np.array_equal(mine.counts, ref.counts)
+            assert mine.vmin == pytest.approx(ref.vmin)
+            assert mine.vmax == pytest.approx(ref.vmax)
+
+    def test_reader_count_invariance(self, written_run):
+        directory, (insitu_hist, _) = written_run
+
+        def reader(comm):
+            res = run_posthoc_analysis(
+                comm, directory, steps=[3], analysis="histogram", bins=16
+            )
+            return res.histograms[0] if comm.rank == 0 else None
+
+        h1 = run_spmd(1, reader)[0]
+        h2 = run_spmd(2, reader)[0]
+        assert np.array_equal(h1.counts, h2.counts)
+
+    def test_timers_split(self, written_run):
+        directory, _ = written_run
+
+        def reader(comm):
+            return run_posthoc_analysis(
+                comm, directory, steps=[1, 2, 3], analysis="histogram"
+            )
+
+        res = run_spmd(2, reader)[0]
+        assert res.read_time > 0
+        assert res.process_time > 0
+
+
+class TestPosthocAutocorrelation:
+    def test_topk_values_match_insitu(self, written_run):
+        directory, (_, insitu_ac) = written_run
+
+        def reader(comm):
+            res = run_posthoc_analysis(
+                comm, directory, steps=[1, 2, 3], analysis="autocorrelation",
+                ac_window=2, ac_topk=3,
+            )
+            return res.autocorrelation if comm.rank == 0 else None
+
+        post = run_spmd(2, reader)[0]
+        assert post is not None
+        for d in range(2):
+            post_vals = [c for c, _ in post.top[d]]
+            insitu_vals = [c for c, _ in insitu_ac.top[d]]
+            assert post_vals == pytest.approx(insitu_vals)
+
+
+class TestPosthocSlice:
+    def test_slice_png_produced(self, written_run, tmp_path):
+        directory, _ = written_run
+
+        def reader(comm):
+            res = run_posthoc_analysis(
+                comm, directory, steps=[2], analysis="slice",
+                slice_axis=2, slice_index=4, resolution=(40, 30),
+                output_dir=str(tmp_path),
+            )
+            return res.slice_pngs
+
+        pngs = run_spmd(2, reader)[0]
+        assert len(pngs) == 1
+        assert decode_png(pngs[0]).shape == (30, 40, 3)
+        assert (tmp_path / "posthoc_000002.png").exists()
+
+    def test_reader_count_invariance(self, written_run):
+        directory, _ = written_run
+
+        def reader(comm):
+            res = run_posthoc_analysis(
+                comm, directory, steps=[2], analysis="slice",
+                slice_axis=2, slice_index=4, resolution=(40, 30),
+            )
+            return res.slice_pngs[0] if comm.rank == 0 else None
+
+        a = run_spmd(1, reader)[0]
+        b = run_spmd(3, reader)[0]
+        assert a == b
+
+
+class TestValidation:
+    def test_unknown_analysis(self, written_run):
+        directory, _ = written_run
+
+        def reader(comm):
+            with pytest.raises(ValueError):
+                run_posthoc_analysis(comm, directory, [1], "fourier")
+
+        run_spmd(1, reader)
+
+    def test_output_files_written(self, written_run, tmp_path):
+        directory, _ = written_run
+
+        def reader(comm):
+            run_posthoc_analysis(
+                comm, directory, [1], "histogram", output_dir=str(tmp_path)
+            )
+
+        run_spmd(1, reader)
+        assert (tmp_path / "posthoc_histogram.txt").exists()

@@ -1,0 +1,211 @@
+"""Property-based tests over the system's cross-cutting invariants.
+
+Each property here underpins one of the paper's measured claims: if any of
+these broke, the corresponding experiment would be measuring a bug.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import parallel_histogram
+from repro.analysis.autocorrelation import AutocorrelationState
+from repro.mpi import SUM, run_spmd
+from repro.render import RenderedImage, binary_swap, blank_image, direct_send
+from repro.storage import BPReader, BPWriter
+from repro.util import Extent
+from repro.util.decomp import regular_decompose_3d
+
+
+class TestMPIProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nranks=st.integers(1, 6),
+        n=st.integers(1, 64),
+        seed=st.integers(0, 1000),
+    )
+    def test_allreduce_array_invariant(self, nranks, n, seed):
+        """allreduce(SUM) of per-rank arrays equals the numpy sum and is
+        identical on every rank."""
+        rng = np.random.default_rng(seed)
+        data = [rng.standard_normal(n) for _ in range(nranks)]
+
+        def prog(comm):
+            return comm.allreduce(data[comm.rank], SUM)
+
+        out = run_spmd(nranks, prog)
+        expected = data[0].copy()
+        for d in data[1:]:
+            expected = expected + d
+        for o in out:
+            np.testing.assert_array_equal(o, expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(nranks=st.integers(2, 6), seed=st.integers(0, 1000))
+    def test_alltoall_is_transpose(self, nranks, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 100, (nranks, nranks))
+
+        def prog(comm):
+            return comm.alltoall(list(matrix[comm.rank]))
+
+        out = run_spmd(nranks, prog)
+        for r, row in enumerate(out):
+            assert row == list(matrix[:, r])
+
+    @settings(max_examples=15, deadline=None)
+    @given(nranks=st.integers(1, 6), seed=st.integers(0, 1000))
+    def test_exscan_prefix_property(self, nranks, seed):
+        rng = np.random.default_rng(seed)
+        vals = [int(v) for v in rng.integers(0, 50, nranks)]
+
+        def prog(comm):
+            return comm.exscan(vals[comm.rank])
+
+        out = run_spmd(nranks, prog)
+        assert out[0] is None
+        for r in range(1, nranks):
+            assert out[r] == sum(vals[:r])
+
+
+class TestHistogramProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nranks=st.integers(1, 6),
+        n=st.integers(1, 300),
+        bins=st.integers(1, 32),
+        seed=st.integers(0, 1000),
+    )
+    def test_distribution_invariance(self, nranks, n, bins, seed):
+        """The global histogram never depends on how data is distributed."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=n)
+        if data.min() == data.max():
+            return  # degenerate range uses a documented non-numpy convention
+        chunks = np.array_split(data, nranks)
+
+        def prog(comm):
+            return parallel_histogram(comm, chunks[comm.rank], bins)
+
+        h = run_spmd(nranks, prog)[0]
+        expected, _ = np.histogram(data, bins=bins, range=(data.min(), data.max()))
+        assert h.counts.tolist() == expected.tolist()
+        assert h.total == n
+
+
+class TestAutocorrelationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        window=st.integers(1, 6),
+        steps=st.integers(1, 12),
+        seed=st.integers(0, 1000),
+    )
+    def test_delay_zero_is_energy(self, window, steps, seed):
+        """corr[0] == sum of squares of the signal -- for any window."""
+        rng = np.random.default_rng(seed)
+        state = AutocorrelationState(window, 5)
+        signal = rng.standard_normal((steps, 5))
+        for row in signal:
+            state.update(row)
+        np.testing.assert_allclose(state.corr[0], (signal**2).sum(axis=0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(window=st.integers(2, 5), seed=st.integers(0, 1000))
+    def test_cauchy_schwarz(self, window, seed):
+        """|corr[d]| <= corr[0] for stationary-bounded signals (up to the
+        truncation of the first d terms)."""
+        rng = np.random.default_rng(seed)
+        state = AutocorrelationState(window, 8)
+        for _ in range(20):
+            state.update(rng.uniform(-1, 1, 8))
+        # Generous bound accounting for edge terms.
+        assert np.all(np.abs(state.corr[1:]) <= state.corr[0][None, :] + 1e-9)
+
+
+class TestCompositingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nranks=st.integers(1, 6),
+        w=st.integers(4, 24),
+        h=st.integers(4, 24),
+        seed=st.integers(0, 1000),
+    )
+    def test_binary_swap_equals_direct_send(self, nranks, w, h, seed):
+        """The two compositing algorithms agree on arbitrary partials."""
+        rng = np.random.default_rng(seed)
+        rgbs = rng.integers(0, 256, (nranks, h, w, 3), dtype=np.uint8)
+        masks = rng.integers(0, 2, (nranks, h, w)).astype(np.uint8) * 255
+
+        def prog(comm):
+            img = RenderedImage(rgbs[comm.rank].copy(), masks[comm.rank].copy())
+            ds = direct_send(comm, img.copy())
+            bs = binary_swap(comm, img.copy())
+            if comm.rank == 0:
+                return ds.rgb, ds.alpha, bs.rgb, bs.alpha
+            return None
+
+        ds_rgb, ds_alpha, bs_rgb, bs_alpha = run_spmd(nranks, prog)[0]
+        assert np.array_equal(ds_rgb * (ds_alpha[..., None] > 0), bs_rgb * (bs_alpha[..., None] > 0))
+        assert np.array_equal(ds_alpha > 0, bs_alpha > 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(nranks=st.integers(1, 5), seed=st.integers(0, 1000))
+    def test_coverage_is_union(self, nranks, seed):
+        """Composited coverage equals the union of partial coverages."""
+        rng = np.random.default_rng(seed)
+        masks = rng.integers(0, 2, (nranks, 8, 8)).astype(np.uint8) * 255
+
+        def prog(comm):
+            img = blank_image(8, 8)
+            img.alpha[:] = masks[comm.rank]
+            img.rgb[:] = 7
+            out = binary_swap(comm, img)
+            return None if out is None else (out.alpha > 0)
+
+        got = run_spmd(nranks, prog)[0]
+        expected = (masks > 0).any(axis=0)
+        assert np.array_equal(got, expected)
+
+
+class TestStorageProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        nranks=st.integers(1, 4),
+        dims=st.tuples(st.integers(4, 10), st.integers(4, 8), st.integers(4, 8)),
+        seed=st.integers(0, 1000),
+    )
+    def test_bp_roundtrip_any_decomposition(self, nranks, dims, seed, tmp_path_factory):
+        tmpdir = tmp_path_factory.mktemp("bp_prop")
+        rng = np.random.default_rng(seed)
+        field = rng.standard_normal(dims)
+
+        def prog(comm):
+            ext, _, _ = regular_decompose_3d(dims, comm.size, comm.rank)
+            w = BPWriter(comm, tmpdir / "f", dims)
+            w.begin_step()
+            w.write(
+                "v",
+                field[ext.i0 : ext.i1 + 1, ext.j0 : ext.j1 + 1, ext.k0 : ext.k1 + 1],
+                ext,
+            )
+            w.end_step()
+            w.close()
+
+        run_spmd(nranks, prog)
+        got = BPReader(tmpdir / "f").read("v", 0)
+        np.testing.assert_array_equal(got, field)
+
+
+class TestDecompositionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        dims=st.tuples(st.integers(2, 20), st.integers(2, 20), st.integers(2, 20)),
+        nranks=st.integers(1, 24),
+    )
+    def test_extent_point_counts_sum(self, dims, nranks):
+        total = sum(
+            regular_decompose_3d(dims, nranks, r)[0].num_points
+            for r in range(nranks)
+        )
+        assert total == dims[0] * dims[1] * dims[2]

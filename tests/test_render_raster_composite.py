@@ -1,0 +1,297 @@
+"""Tests for rasterization, compositing, and isosurface extraction."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.render import (
+    GRAY,
+    RenderedImage,
+    binary_swap,
+    blank_image,
+    composite_over,
+    direct_send,
+    marching_tetrahedra,
+    rasterize_slice,
+    splat_points,
+)
+from repro.render.isosurface import isosurface_points
+
+
+class TestBlankImage:
+    def test_empty(self):
+        img = blank_image(8, 4)
+        assert img.shape == (4, 8)
+        assert img.coverage() == 0.0
+        assert img.depth is None
+
+    def test_with_depth(self):
+        img = blank_image(4, 4, with_depth=True)
+        assert np.all(np.isinf(img.depth))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blank_image(0, 4)
+        with pytest.raises(ValueError):
+            RenderedImage(np.zeros((2, 2, 3), np.uint8), np.zeros((3, 3), np.uint8))
+
+    def test_nbytes(self):
+        img = blank_image(10, 10, with_depth=True)
+        assert img.nbytes == 300 + 100 + 400
+
+
+class TestRasterizeSlice:
+    def test_full_domain_fragment_covers_viewport(self):
+        values = np.linspace(0, 1, 25).reshape(5, 5)
+        img = rasterize_slice(values, (0, 4, 0, 4), (0, 4, 0, 4), 32, 24)
+        assert img.coverage() == 1.0
+
+    def test_partial_fragment_covers_its_region_only(self):
+        values = np.ones((3, 5))
+        # Fragment owns u in [0,2] of a global [0,9]: ~left third of pixels.
+        img = rasterize_slice(values, (0, 2, 0, 4), (0, 9, 0, 4), 40, 20)
+        cov = img.coverage()
+        assert 0.15 < cov < 0.35
+        # Coverage must be the left columns.
+        assert img.alpha[:, 0].all()
+        assert not img.alpha[:, -1].any()
+
+    def test_disjoint_fragment_renders_nothing(self):
+        values = np.ones((2, 2))
+        img = rasterize_slice(values, (8, 9, 8, 9), (0, 4, 0, 4), 16, 16)
+        assert img.coverage() == 0.0
+
+    def test_value_gradient_monotone_along_axis(self):
+        values = np.array([[0.0, 1.0], [0.0, 1.0]])
+        img = rasterize_slice(values, (0, 1, 0, 1), (0, 1, 0, 1), 4, 64, colormap=GRAY)
+        col = img.rgb[:, 0, 0].astype(int)
+        assert col[0] < col[-1]
+        assert np.all(np.diff(col) >= 0)
+
+    def test_nearest_ownership_partitions_pixels(self):
+        """Two abutting fragments cover every pixel exactly once."""
+        vals_a = np.zeros((4, 5))
+        vals_b = np.ones((5, 5))
+        a = rasterize_slice(vals_a, (0, 3, 0, 4), (0, 8, 0, 4), 37, 23)
+        b = rasterize_slice(vals_b, (4, 8, 0, 4), (0, 8, 0, 4), 37, 23)
+        both = (a.alpha > 0).astype(int) + (b.alpha > 0).astype(int)
+        assert (both == 1).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rasterize_slice(np.ones((2, 2)), (0, 4, 0, 4), (0, 4, 0, 4), 8, 8)
+
+
+class TestSplatPoints:
+    def test_points_drawn(self):
+        pts = np.array([[0.5, 0.5]])
+        img = splat_points(
+            pts, np.array([1.0]), np.array([[255, 0, 0]]), 9, 9, (0, 1, 0, 1), radius=1
+        )
+        assert img.alpha[4, 4] == 255
+        assert img.rgb[4, 4].tolist() == [255, 0, 0]
+
+    def test_depth_test_nearer_wins(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5]])
+        depths = np.array([2.0, 1.0])
+        colors = np.array([[255, 0, 0], [0, 255, 0]])
+        img = splat_points(pts, depths, colors, 9, 9, (0, 1, 0, 1), radius=0)
+        assert img.rgb[4, 4].tolist() == [0, 255, 0]
+
+    def test_out_of_bounds_culled(self):
+        pts = np.array([[5.0, 5.0]])
+        img = splat_points(
+            pts, np.array([1.0]), np.array([[1, 2, 3]]), 8, 8, (0, 1, 0, 1)
+        )
+        assert img.coverage() == 0.0
+
+    def test_empty_input(self):
+        img = splat_points(
+            np.empty((0, 2)), np.empty(0), np.empty((0, 3)), 8, 8, (0, 1, 0, 1)
+        )
+        assert img.coverage() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            splat_points(np.ones((2, 3)), np.ones(2), np.ones((2, 3)), 4, 4, (0, 1, 0, 1))
+        with pytest.raises(ValueError):
+            splat_points(np.ones((1, 2)), np.ones(1), np.ones((1, 3)), 4, 4, (1, 1, 0, 1))
+
+
+class TestCompositeOver:
+    def _img(self, val, mask, depth=None):
+        rgb = np.full((2, 2, 3), val, dtype=np.uint8)
+        alpha = (np.array(mask, dtype=np.uint8)) * 255
+        d = None
+        if depth is not None:
+            d = np.where(np.array(mask, bool), np.float32(depth), np.inf).astype(
+                np.float32
+            )
+        return RenderedImage(rgb, alpha, d)
+
+    def test_alpha_priority(self):
+        front = self._img(10, [[1, 0], [0, 0]])
+        back = self._img(20, [[1, 1], [0, 1]])
+        out = composite_over(front, back)
+        assert out.rgb[0, 0, 0] == 10  # front wins where rendered
+        assert out.rgb[0, 1, 0] == 20  # back fills
+        assert out.alpha[1, 0] == 0  # both empty
+
+    def test_depth_priority(self):
+        near = self._img(10, [[1, 1], [1, 1]], depth=1.0)
+        far = self._img(20, [[1, 1], [1, 1]], depth=5.0)
+        out = composite_over(far, near)
+        assert (out.rgb[..., 0] == 10).all()
+
+    def test_mixed_depth_presence_rejected(self):
+        a = self._img(1, [[1, 1], [1, 1]], depth=1.0)
+        b = self._img(2, [[1, 1], [1, 1]])
+        with pytest.raises(ValueError):
+            composite_over(a, b)
+
+    def test_shape_mismatch_rejected(self):
+        a = self._img(1, [[1, 1], [1, 1]])
+        b = RenderedImage(np.zeros((3, 3, 3), np.uint8), np.zeros((3, 3), np.uint8))
+        with pytest.raises(ValueError):
+            composite_over(a, b)
+
+
+def _rank_band_image(comm, width=16, height=32, with_depth=False):
+    """Each rank renders a horizontal band of rows with its own color."""
+    img = blank_image(width, height, with_depth=with_depth)
+    h0 = height * comm.rank // comm.size
+    h1 = height * (comm.rank + 1) // comm.size
+    img.rgb[h0:h1] = (comm.rank + 1) * 10
+    img.alpha[h0:h1] = 255
+    if with_depth:
+        img.depth[h0:h1] = 1.0
+    return img
+
+
+class TestParallelCompositing:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 8])
+    def test_binary_swap_matches_direct_send(self, nranks):
+        def prog(comm):
+            img = _rank_band_image(comm)
+            ds = direct_send(comm, img.copy())
+            bs = binary_swap(comm, img.copy())
+            if comm.rank == 0:
+                return ds.rgb, ds.alpha, bs.rgb, bs.alpha
+            assert ds is None and bs is None
+            return None
+
+        out = run_spmd(nranks, prog)[0]
+        ds_rgb, ds_alpha, bs_rgb, bs_alpha = out
+        assert np.array_equal(ds_rgb, bs_rgb)
+        assert np.array_equal(ds_alpha, bs_alpha)
+
+    def test_full_coverage_from_disjoint_bands(self):
+        def prog(comm):
+            out = binary_swap(comm, _rank_band_image(comm))
+            return None if out is None else out.coverage()
+
+        assert run_spmd(4, prog)[0] == 1.0
+
+    @pytest.mark.parametrize("nranks", [2, 4, 6])
+    def test_depth_composite_across_ranks(self, nranks):
+        """Overlapping full-screen layers: nearest rank's color must win."""
+
+        def prog(comm):
+            img = blank_image(8, 8, with_depth=True)
+            img.rgb[:] = (comm.rank + 1) * 10
+            img.alpha[:] = 255
+            # rank r at depth (r + 1): rank 0 is nearest.
+            img.depth[:] = comm.rank + 1.0
+            ds = direct_send(comm, img.copy())
+            bs = binary_swap(comm, img.copy())
+            if comm.rank == 0:
+                return ds.rgb[0, 0, 0], bs.rgb[0, 0, 0]
+            return None
+
+        ds0, bs0 = run_spmd(nranks, prog)[0]
+        assert ds0 == 10 and bs0 == 10
+
+    def test_overlap_rank_priority_consistent(self):
+        """Without depth, both algorithms resolve overlap to the lowest rank."""
+
+        def prog(comm):
+            img = blank_image(8, 8)
+            img.rgb[:] = (comm.rank + 1) * 10
+            img.alpha[:] = 255
+            ds = direct_send(comm, img.copy())
+            bs = binary_swap(comm, img.copy())
+            if comm.rank == 0:
+                return ds.rgb[0, 0, 0], bs.rgb[0, 0, 0]
+            return None
+
+        ds0, bs0 = run_spmd(4, prog)[0]
+        assert ds0 == 10 and bs0 == 10
+
+
+class TestMarchingTetrahedra:
+    def test_sphere_surface_distance(self):
+        """All triangle vertices of an iso-sphere lie near the sphere."""
+        n = 16
+        ax = np.linspace(-1, 1, n)
+        x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+        r = np.sqrt(x * x + y * y + z * z)
+        h = ax[1] - ax[0]
+        tris = marching_tetrahedra(r, 0.6, origin=(-1, -1, -1), spacing=(h, h, h))
+        assert tris.shape[0] > 100
+        radii = np.linalg.norm(tris.reshape(-1, 3), axis=1)
+        assert np.all(np.abs(radii - 0.6) < h)
+
+    def test_planar_field_gives_plane(self):
+        n = 8
+        x = np.meshgrid(
+            np.arange(n, dtype=float), np.arange(n, dtype=float),
+            np.arange(n, dtype=float), indexing="ij",
+        )[0]
+        tris = marching_tetrahedra(x, 3.5)
+        assert tris.shape[0] > 0
+        np.testing.assert_allclose(tris[..., 0], 3.5, atol=1e-12)
+
+    def test_iso_outside_range_is_empty(self):
+        f = np.zeros((4, 4, 4))
+        assert marching_tetrahedra(f, 5.0).shape == (0, 3, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            marching_tetrahedra(np.zeros((1, 4, 4)), 0.5)
+        with pytest.raises(ValueError):
+            marching_tetrahedra(np.zeros((4, 4)), 0.5)
+
+    def test_watertight_no_boundary_gaps(self):
+        """Every interior triangle edge is shared by exactly two triangles
+        (watertightness of marching tets on a closed surface)."""
+        n = 10
+        ax = np.linspace(-1, 1, n)
+        x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+        r = np.sqrt(x * x + y * y + z * z)
+        h = ax[1] - ax[0]
+        tris = marching_tetrahedra(r, 0.55, origin=(-1, -1, -1), spacing=(h, h, h))
+        # Quantize vertices so shared edges hash identically.
+        q = np.round(tris / (h * 1e-6)).astype(np.int64)
+        edge_count: dict = {}
+        for t in range(q.shape[0]):
+            for e in range(3):
+                a = tuple(q[t, e])
+                b = tuple(q[t, (e + 1) % 3])
+                if a == b:  # degenerate edge from a vertex exactly on iso
+                    continue
+                key = (min(a, b), max(a, b))
+                edge_count[key] = edge_count.get(key, 0) + 1
+        counts = np.array(list(edge_count.values()))
+        # A closed surface inside the domain: all edges shared exactly twice.
+        assert (counts == 2).mean() > 0.95
+
+    def test_isosurface_points_on_surface(self):
+        n = 12
+        ax = np.linspace(-1, 1, n)
+        x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+        r = np.sqrt(x * x + y * y + z * z)
+        h = ax[1] - ax[0]
+        pts = isosurface_points(r, 0.5, origin=(-1, -1, -1), spacing=(h, h, h))
+        assert pts.shape[0] > 0
+        radii = np.linalg.norm(pts, axis=1)
+        assert np.all(np.abs(radii - 0.5) < h)

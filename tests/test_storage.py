@@ -1,0 +1,273 @@
+"""Tests for the storage substrate: VTK-style I/O, MPI-IO, and BP files."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataArray, ImageData
+from repro.mpi import run_spmd
+from repro.storage import (
+    BPReader,
+    BPWriter,
+    mpiio_read_block,
+    mpiio_write_collective,
+    read_global_field,
+    read_index,
+    read_piece,
+    read_subextent,
+    write_block,
+    write_timestep,
+)
+from repro.storage.vtk_io import reader_extent
+from repro.util import Extent
+from repro.util.decomp import regular_decompose_3d
+
+
+def _block_image(extent, whole, seed=0):
+    img = ImageData(extent, whole_extent=whole)
+    rng = np.random.default_rng(seed)
+    data = rng.random(extent.shape)
+    img.add_point_array(DataArray.from_numpy("data", data))
+    return img, data
+
+
+class TestBlockFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        ext = Extent(2, 5, 0, 3, 1, 4)
+        whole = Extent(0, 9, 0, 9, 0, 9)
+        img, data = _block_image(ext, whole)
+        p = tmp_path / "b.rvi"
+        n = write_block(p, img, "data")
+        assert p.stat().st_size == n
+        back = read_piece(p)
+        assert back.extent == ext
+        assert back.whole_extent == whole
+        np.testing.assert_array_equal(back.point_field_3d("data"), data)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "junk"
+        p.write_bytes(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(ValueError):
+            read_piece(p)
+
+    def test_truncated_rejected(self, tmp_path):
+        ext = Extent(0, 3, 0, 3, 0, 3)
+        img, _ = _block_image(ext, ext)
+        p = tmp_path / "b.rvi"
+        write_block(p, img, "data")
+        p.write_bytes(p.read_bytes()[:-10])
+        with pytest.raises(ValueError):
+            read_piece(p)
+
+
+class TestParallelTimestep:
+    def _write(self, tmp_path, nranks, dims=(8, 6, 4)):
+        def prog(comm):
+            ext, _, _ = regular_decompose_3d(dims, comm.size, comm.rank)
+            whole = Extent(0, dims[0] - 1, 0, dims[1] - 1, 0, dims[2] - 1)
+            img, data = _block_image(ext, whole, seed=comm.rank)
+            write_timestep(comm, tmp_path, step=3, time=0.3, image=img, field="data")
+            return ext, data
+
+        return run_spmd(nranks, prog), dims
+
+    def test_index_lists_all_pieces(self, tmp_path):
+        out, dims = self._write(tmp_path, 4)
+        idx = read_index(tmp_path, 3)
+        assert len(idx.pieces) == 4
+        assert idx.whole_extent.shape == dims
+        assert idx.step == 3 and idx.time == 0.3
+
+    def test_global_reassembly(self, tmp_path):
+        out, dims = self._write(tmp_path, 4)
+        expected = np.zeros(dims)
+        for ext, data in out:
+            expected[
+                ext.i0 : ext.i1 + 1, ext.j0 : ext.j1 + 1, ext.k0 : ext.k1 + 1
+            ] = data
+        got = read_global_field(tmp_path, 3)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_subextent_read_with_fewer_readers(self, tmp_path):
+        """The 10%-cores post hoc pattern: write with 8, read with 2."""
+        out, dims = self._write(tmp_path, 8)
+        expected = np.zeros(dims)
+        for ext, data in out:
+            expected[
+                ext.i0 : ext.i1 + 1, ext.j0 : ext.j1 + 1, ext.k0 : ext.k1 + 1
+            ] = data
+        whole = Extent(0, dims[0] - 1, 0, dims[1] - 1, 0, dims[2] - 1)
+
+        def reader(comm):
+            want = reader_extent(whole, comm.size, comm.rank)
+            return want, read_subextent(tmp_path, 3, want)
+
+        pieces = run_spmd(2, reader)
+        got = np.zeros(dims)
+        for want, block in pieces:
+            got[want.i0 : want.i1 + 1] = block
+        np.testing.assert_array_equal(got, expected)
+
+    def test_reader_extents_tile(self):
+        whole = Extent(0, 10, 0, 4, 0, 4)
+        exts = [reader_extent(whole, 3, r) for r in range(3)]
+        assert exts[0].i0 == 0 and exts[-1].i1 == 10
+        total = sum(e.num_points for e in exts)
+        assert total == whole.num_points
+
+
+class TestMPIIO:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 6])
+    def test_collective_write_matches_blocks(self, tmp_path, nranks):
+        dims = (6, 5, 4)
+        path = tmp_path / f"shared_{nranks}.dat"
+
+        def prog(comm):
+            ext, _, _ = regular_decompose_3d(dims, comm.size, comm.rank)
+            rng = np.random.default_rng(comm.rank + 100)
+            block = rng.random(ext.shape)
+            written = mpiio_write_collective(comm, path, block, ext, dims)
+            return ext, block, written
+
+        out = run_spmd(nranks, prog)
+        expected = np.zeros(dims)
+        total_written = 0
+        for ext, block, written in out:
+            expected[
+                ext.i0 : ext.i1 + 1, ext.j0 : ext.j1 + 1, ext.k0 : ext.k1 + 1
+            ] = block
+            total_written += written
+        assert total_written == dims[0] * dims[1] * dims[2] * 8
+        whole = Extent(0, dims[0] - 1, 0, dims[1] - 1, 0, dims[2] - 1)
+        got = mpiio_read_block(path, whole)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_sub_block_read(self, tmp_path):
+        dims = (4, 4, 4)
+        path = tmp_path / "s.dat"
+
+        def prog(comm):
+            whole = Extent(0, 3, 0, 3, 0, 3)
+            block = np.arange(64.0).reshape(4, 4, 4)
+            mpiio_write_collective(comm, path, block, whole, dims)
+
+        run_spmd(1, prog)
+        sub = mpiio_read_block(path, Extent(1, 2, 1, 2, 1, 2))
+        expected = np.arange(64.0).reshape(4, 4, 4)[1:3, 1:3, 1:3]
+        np.testing.assert_array_equal(sub, expected)
+
+    def test_out_of_range_read_rejected(self, tmp_path):
+        path = tmp_path / "s.dat"
+
+        def prog(comm):
+            whole = Extent(0, 1, 0, 1, 0, 1)
+            mpiio_write_collective(
+                comm, path, np.zeros((2, 2, 2)), whole, (2, 2, 2)
+            )
+
+        run_spmd(1, prog)
+        with pytest.raises(ValueError):
+            mpiio_read_block(path, Extent(0, 5, 0, 1, 0, 1))
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                mpiio_write_collective(
+                    comm,
+                    tmp_path / "x.dat",
+                    np.zeros((2, 2, 2)),
+                    Extent(0, 3, 0, 1, 0, 1),
+                    (4, 2, 2),
+                )
+
+        run_spmd(1, prog)
+
+
+class TestBP:
+    def test_multistep_multivar_roundtrip(self, tmp_path):
+        dims = (6, 4, 4)
+        path = tmp_path / "out"
+
+        def prog(comm):
+            ext, _, _ = regular_decompose_3d(dims, comm.size, comm.rank)
+            writer = BPWriter(comm, path, dims)
+            blocks = {}
+            for step in range(3):
+                writer.begin_step()
+                rng = np.random.default_rng(comm.rank * 10 + step)
+                a = rng.random(ext.shape)
+                b = rng.random(ext.shape)
+                writer.write("u", a, ext)
+                writer.write("v", b, ext)
+                writer.end_step()
+                blocks[step] = (ext, a, b)
+            writer.close()
+            return blocks
+
+        out = run_spmd(4, prog)
+        reader = BPReader(path)
+        assert reader.variables() == ["u", "v"]
+        assert reader.num_steps == 3
+        for step in range(3):
+            for vi, var in enumerate(("u", "v")):
+                expected = np.zeros(dims)
+                for blocks in out:
+                    ext, a, b = blocks[step]
+                    expected[
+                        ext.i0 : ext.i1 + 1, ext.j0 : ext.j1 + 1, ext.k0 : ext.k1 + 1
+                    ] = (a, b)[vi]
+                got = reader.read(var, step)
+                np.testing.assert_array_equal(got, expected)
+
+    def test_selection_read(self, tmp_path):
+        dims = (8, 4, 4)
+        path = tmp_path / "sel"
+
+        def prog(comm):
+            ext, _, _ = regular_decompose_3d(dims, comm.size, comm.rank)
+            w = BPWriter(comm, path, dims)
+            w.begin_step()
+            block = np.full(ext.shape, float(comm.rank))
+            w.write("data", block, ext)
+            w.end_step()
+            w.close()
+            return ext
+
+        exts = run_spmd(2, prog)
+        reader = BPReader(path)
+        sel = Extent(0, 3, 0, 3, 0, 3)
+        got = reader.read("data", 0, selection=sel)
+        assert got.shape == (4, 4, 4)
+        # That selection is entirely inside rank 0's half (i in [0,3]).
+        assert exts[0].i1 >= 3
+        assert (got == 0.0).all()
+
+    def test_protocol_misuse(self, tmp_path):
+        def prog(comm):
+            w = BPWriter(comm, tmp_path / "p", (2, 2, 2))
+            with pytest.raises(RuntimeError):
+                w.write("x", np.zeros((2, 2, 2)), Extent(0, 1, 0, 1, 0, 1))
+            w.begin_step()
+            with pytest.raises(RuntimeError):
+                w.begin_step()
+            w.end_step()
+            with pytest.raises(RuntimeError):
+                w.end_step()
+            w.close()
+            w.close()  # idempotent
+
+        run_spmd(1, prog)
+
+    def test_unknown_var_raises(self, tmp_path):
+        def prog(comm):
+            w = BPWriter(comm, tmp_path / "q", (2, 2, 2))
+            w.begin_step()
+            w.write("x", np.zeros((2, 2, 2)), Extent(0, 1, 0, 1, 0, 1))
+            w.end_step()
+            w.close()
+
+        run_spmd(1, prog)
+        r = BPReader(tmp_path / "q")
+        with pytest.raises(KeyError):
+            r.read("y", 0)
+        with pytest.raises(KeyError):
+            r.read("x", 5)

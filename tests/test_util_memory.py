@@ -1,0 +1,105 @@
+"""Unit tests for memory high-water accounting."""
+
+import numpy as np
+import pytest
+
+from repro.util import MemoryTracker, sum_high_water
+from repro.util.memory import array_nbytes
+
+
+def test_allocate_free_tracks_current():
+    m = MemoryTracker()
+    m.allocate(100)
+    m.allocate(50)
+    assert m.current == 150
+    m.free(100)
+    assert m.current == 50
+
+
+def test_peak_is_high_water_not_current():
+    m = MemoryTracker()
+    m.allocate(1000)
+    m.free(900)
+    assert m.current == 100
+    assert m.peak == 1000
+    assert m.high_water == 1000
+
+
+def test_baseline_counts_toward_peak():
+    m = MemoryTracker(baseline_bytes=500)
+    assert m.current == 500
+    assert m.peak == 500
+
+
+def test_negative_allocation_rejected():
+    m = MemoryTracker()
+    with pytest.raises(ValueError):
+        m.allocate(-1)
+    with pytest.raises(ValueError):
+        m.free(-1)
+
+
+def test_double_free_detected():
+    m = MemoryTracker()
+    m.allocate(10)
+    with pytest.raises(RuntimeError):
+        m.free(20)
+
+
+def test_track_array_counts_owned_buffer():
+    m = MemoryTracker()
+    a = np.zeros(1000, dtype=np.float64)
+    m.track_array(a)
+    assert m.current == a.nbytes
+
+
+def test_track_array_ignores_views_zero_copy():
+    """Views register nothing -- the zero-copy accounting rule (Fig. 4)."""
+    m = MemoryTracker()
+    a = np.zeros(1000, dtype=np.float64)
+    view = a[10:500]
+    m.track_array(view)
+    assert m.current == 0
+    strided = a[::2]
+    m.track_array(strided)
+    assert m.current == 0
+
+
+def test_named_labels_accumulate():
+    m = MemoryTracker()
+    m.allocate(10, label="grid")
+    m.allocate(20, label="grid")
+    m.allocate(5, label="hist")
+    assert m.named("grid") == 30
+    assert m.named("hist") == 5
+    m.free(10, label="grid")
+    assert m.named("grid") == 20
+
+
+def test_add_static_raises_floor():
+    m = MemoryTracker()
+    m.add_static(1 << 20, label="edition")
+    assert m.static == 1 << 20
+    assert m.peak >= 1 << 20
+
+
+def test_sum_high_water_across_ranks():
+    trackers = [MemoryTracker() for _ in range(4)]
+    for i, t in enumerate(trackers):
+        t.allocate((i + 1) * 100)
+        t.free((i + 1) * 100)
+    assert sum_high_water(trackers) == 100 + 200 + 300 + 400
+
+
+def test_reset_peak():
+    m = MemoryTracker()
+    m.allocate(100)
+    m.free(100)
+    assert m.peak == 100
+    m.reset_peak()
+    assert m.peak == 0
+
+
+def test_array_nbytes_matches_numpy():
+    assert array_nbytes((10, 20), np.float64) == np.zeros((10, 20)).nbytes
+    assert array_nbytes((7,), np.uint8) == 7

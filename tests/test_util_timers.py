@@ -1,0 +1,107 @@
+"""Unit tests for the phase timer substrate."""
+
+import time
+
+import pytest
+
+from repro.util import Timer, TimerRegistry, timed
+
+
+def test_timer_accumulates_total_and_count():
+    t = Timer("x")
+    t.add(1.0)
+    t.add(3.0)
+    assert t.total == pytest.approx(4.0)
+    assert t.count == 2
+    assert t.mean == pytest.approx(2.0)
+    assert t.min_time == pytest.approx(1.0)
+    assert t.max_time == pytest.approx(3.0)
+
+
+def test_timer_start_stop_measures_elapsed():
+    t = Timer("x")
+    t.start()
+    time.sleep(0.01)
+    elapsed = t.stop()
+    assert elapsed >= 0.005
+    assert t.total == pytest.approx(elapsed)
+
+
+def test_timer_double_start_raises():
+    t = Timer("x")
+    t.start()
+    with pytest.raises(RuntimeError):
+        t.start()
+    t.stop()
+
+
+def test_timer_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Timer("x").stop()
+
+
+def test_timer_keep_samples_records_each_call():
+    t = Timer("x", keep_samples=True)
+    t.add(0.5)
+    t.add(1.5)
+    assert t.samples == [0.5, 1.5]
+
+
+def test_registry_returns_same_timer_for_name():
+    reg = TimerRegistry()
+    assert reg.timer("a") is reg.timer("a")
+    assert reg.timer("a") is not reg.timer("b")
+
+
+def test_registry_context_manager_times_block():
+    reg = TimerRegistry()
+    with reg.time("phase"):
+        time.sleep(0.005)
+    assert reg.total("phase") >= 0.003
+    assert reg.timer("phase").count == 1
+
+
+def test_registry_totals_for_missing_names_are_zero():
+    reg = TimerRegistry()
+    assert reg.total("never") == 0.0
+    assert reg.mean("never") == 0.0
+
+
+def test_registry_as_dict_roundtrips_values():
+    reg = TimerRegistry()
+    reg.add("a::b", 2.0)
+    reg.add("a::b", 4.0)
+    d = reg.as_dict()
+    assert d["a::b"]["total"] == pytest.approx(6.0)
+    assert d["a::b"]["count"] == 2
+    assert d["a::b"]["mean"] == pytest.approx(3.0)
+
+
+def test_registry_merge_sums_totals():
+    a, b = TimerRegistry(), TimerRegistry()
+    a.add("t", 1.0)
+    b.add("t", 2.0)
+    b.add("u", 5.0)
+    a.merge(b)
+    assert a.total("t") == pytest.approx(3.0)
+    assert a.total("u") == pytest.approx(5.0)
+    assert a.timer("t").count == 2
+
+
+def test_timed_with_none_registry_is_noop():
+    with timed(None, "x") as t:
+        assert t is None
+
+
+def test_timed_with_registry_records():
+    reg = TimerRegistry()
+    with timed(reg, "x"):
+        pass
+    assert reg.timer("x").count == 1
+
+
+def test_registry_names_sorted():
+    reg = TimerRegistry()
+    reg.add("z", 1)
+    reg.add("a", 1)
+    assert reg.names() == ["a", "z"]
