@@ -1,0 +1,265 @@
+"""Hot-path microbenchmarks: the three costs the acceleration layer attacks.
+
+The paper's cost story is (1) the miniapp's O(m N^3) per-step refill
+(Sec. 3.3), (2) rank 0's serial zlib/PNG encode (Table 2), and (3)
+compositing's per-round buffer churn (Sec. 4.1.3).  Each benchmark here
+times the naive path against its accelerated counterpart and appends a
+machine-readable record to ``BENCH_hotpaths.json`` at the repo root so
+future PRs can track the perf trajectory::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_hotpaths.py -s
+
+Speedup assertions are calibrated to the hardware actually present: the
+parallel deflate needs real cores to win wall-clock (zlib releases the GIL,
+but a 1-CPU container serializes the pool), so its >= 2x gate only applies
+when >= 4 CPUs are available; the measured speedup and CPU count are always
+recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.render import VIRIDIS, blank_image, decode_png, encode_png
+from repro.render.compositing import (
+    FramebufferPool,
+    binary_swap,
+    composite_over,
+    composite_over_into,
+)
+from repro.util.memory import MemoryTracker
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_hotpaths.json")
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one benchmark's results into BENCH_hotpaths.json."""
+    doc: dict = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    doc["meta"] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": _cpus(),
+    }
+    doc[section] = payload
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- 1. separable oscillator kernel cache -------------------------------------
+
+
+def test_kernel_cache_speedup(report):
+    """advance() with the cached Gaussian basis vs the streaming refill.
+
+    Acceptance target: >= 5x on a 64^3 grid with the 3 default oscillators.
+    """
+    dims = (64, 64, 64)
+    oscs = default_oscillators()
+
+    def prog(comm):
+        from repro.miniapp import OscillatorSimulation
+
+        streaming = OscillatorSimulation(comm, dims, oscs, dt=0.01)
+        mem = MemoryTracker()
+        cached = OscillatorSimulation(
+            comm, dims, oscs, dt=0.01, kernel_cache=True, memory=mem
+        )
+        assert cached.use_kernel_cache
+        t_stream = _best_of(streaming.advance, 5)
+        t_cached = _best_of(cached.advance, 5)
+        # Walk both to a common step and compare fields.
+        while streaming.step < cached.step:
+            streaming.advance()
+        while cached.step < streaming.step:
+            cached.advance()
+        np.testing.assert_allclose(
+            cached.field, streaming.field, rtol=1e-12, atol=1e-300
+        )
+        return t_stream, t_cached, mem.named("miniapp::kernel_cache")
+
+    t_stream, t_cached, basis_bytes = run_spmd(1, prog)[0]
+    speedup = t_stream / t_cached
+    _record(
+        "kernel_cache",
+        {
+            "grid": list(dims),
+            "oscillators": len(oscs),
+            "streaming_s_per_step": t_stream,
+            "cached_s_per_step": t_cached,
+            "speedup": speedup,
+            "basis_bytes": basis_bytes,
+        },
+    )
+    report(
+        "perf_kernel_cache",
+        "separable kernel cache, 64^3 x 3 oscillators",
+        [
+            f"streaming: {t_stream * 1e3:8.3f} ms/step",
+            f"cached:    {t_cached * 1e3:8.3f} ms/step  ({speedup:.1f}x)",
+            f"basis:     {basis_bytes / 2**20:.1f} MiB tracked",
+        ],
+    )
+    assert basis_bytes == 64 * 64 * 64 * 3 * 8
+    assert speedup >= 5.0, f"kernel cache speedup {speedup:.2f}x below 5x target"
+
+
+# -- 2. parallel chunked PNG deflate ------------------------------------------
+
+PNG_WORKERS = 4
+
+
+def _frame_2048() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    y, x = np.mgrid[0:2048, 0:2048]
+    field = np.sin(x / 40.0) * np.cos(y / 25.0)
+    field += 0.1 * rng.standard_normal((2048, 2048))
+    return VIRIDIS.map(field)
+
+
+def test_png_parallel_deflate_speedup(report):
+    """Serial rank-0 encoder vs pigz-style chunked deflate, level 6.
+
+    Acceptance target: >= 2x with 4 workers at the same compression level
+    -- gated on actually having >= 4 CPUs; a 1-CPU container cannot win
+    wall-clock from a thread pool, and the honest number is recorded.
+    """
+    frame = _frame_2048()
+    level = 6
+    t_serial = _best_of(lambda: encode_png(frame, level), 3)
+    t_parallel = _best_of(
+        lambda: encode_png(frame, level, workers=PNG_WORKERS), 3
+    )
+    serial_blob = encode_png(frame, level)
+    parallel_blob = encode_png(frame, level, workers=PNG_WORKERS)
+    # Both paths must decode to identical pixels (stitched zlib stream).
+    assert np.array_equal(decode_png(parallel_blob), decode_png(serial_blob))
+    speedup = t_serial / t_parallel
+    cpus = _cpus()
+    _record(
+        "png_parallel_deflate",
+        {
+            "image": [2048, 2048, 3],
+            "compression_level": level,
+            "workers": PNG_WORKERS,
+            "serial_s": t_serial,
+            "parallel_s": t_parallel,
+            "speedup": speedup,
+            "serial_bytes": len(serial_blob),
+            "parallel_bytes": len(parallel_blob),
+            "size_overhead": len(parallel_blob) / len(serial_blob) - 1.0,
+            "target_speedup": 2.0,
+            "target_gated_on_cpus": 4,
+        },
+    )
+    report(
+        "perf_png_deflate",
+        f"PNG deflate 2048x2048 RGB level {level} ({cpus} CPUs)",
+        [
+            f"serial:   {t_serial * 1e3:8.1f} ms  {len(serial_blob) / 1024:9.1f} KiB",
+            f"{PNG_WORKERS} workers: {t_parallel * 1e3:8.1f} ms  "
+            f"{len(parallel_blob) / 1024:9.1f} KiB  ({speedup:.2f}x)",
+        ],
+    )
+    # Chunking + zdict priming must cost < 2% size at any core count.
+    assert len(parallel_blob) < 1.02 * len(serial_blob)
+    if cpus >= 4:
+        assert speedup >= 2.0, f"parallel deflate {speedup:.2f}x below 2x target"
+    elif cpus >= 2:
+        assert speedup >= 1.2, f"parallel deflate {speedup:.2f}x on {cpus} CPUs"
+    else:
+        # Single CPU: the pool serializes; only bound the chunking overhead.
+        assert speedup >= 0.5, f"chunked deflate overhead too high: {speedup:.2f}x"
+
+
+# -- 3. zero-alloc compositing ------------------------------------------------
+
+
+def test_compositing_zero_alloc(report):
+    """In-place composite + pooled framebuffers vs the allocating path."""
+    h, w = 1080, 1920
+    rng = np.random.default_rng(2)
+    front = blank_image(w, h)
+    front.rgb[: h // 2] = rng.integers(0, 256, (h // 2, w, 3), dtype=np.uint8)
+    front.alpha[: h // 2] = 255
+    back = blank_image(w, h)
+    back.rgb[h // 4 :] = rng.integers(0, 256, (3 * h // 4, w, 3), dtype=np.uint8)
+    back.alpha[h // 4 :] = 255
+
+    t_alloc = _best_of(lambda: composite_over(front, back), 5)
+    scratch = back.copy()
+    t_inplace = _best_of(lambda: composite_over_into(front, scratch, out=scratch), 5)
+    op_speedup = t_alloc / t_inplace
+
+    # Pooled binary swap across 8 simulated ranks, repeated frames: after
+    # the first frame the pool must serve every acquire from reuse.
+    frames = 4
+
+    def prog(comm):
+        pool = FramebufferPool()
+        part = blank_image(512, 512)
+        part.alpha[comm.rank :: comm.size] = 255
+        t0 = time.perf_counter()
+        for _ in range(frames):
+            final = binary_swap(comm, part, pool=pool)
+            if final is not None:
+                pool.release(final)
+        return time.perf_counter() - t0, pool.hits, pool.misses
+
+    results = run_spmd(8, prog)
+    t_swap = max(r[0] for r in results) / frames
+    root_hits, root_misses = results[0][1], results[0][2]
+    # Only the root stitches; it must allocate exactly one framebuffer.
+    assert (root_hits, root_misses) == (frames - 1, 1)
+    assert all(r[1] == r[2] == 0 for r in results[1:])
+
+    _record(
+        "compositing",
+        {
+            "image": [h, w],
+            "composite_over_s": t_alloc,
+            "composite_over_into_s": t_inplace,
+            "inplace_speedup": op_speedup,
+            "binary_swap_pooled_s_per_frame": t_swap,
+            "pool_misses_per_4_frames": root_misses,
+        },
+    )
+    report(
+        "perf_compositing",
+        "compositing 1920x1080 / pooled binary swap 512^2 x 8 ranks",
+        [
+            f"composite_over:      {t_alloc * 1e3:7.2f} ms (allocating)",
+            f"composite_over_into: {t_inplace * 1e3:7.2f} ms ({op_speedup:.2f}x)",
+            f"binary_swap pooled:  {t_swap * 1e3:7.2f} ms/frame, "
+            f"{root_misses} alloc in {frames} frames",
+        ],
+    )
+    # In-place wins by skipping the allocating np.where/astype pipeline.
+    assert op_speedup >= 1.0

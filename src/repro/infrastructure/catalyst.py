@@ -21,9 +21,9 @@ from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
 from repro.core.configurable import register_analysis
 from repro.data import Association, ImageData, MultiBlockDataset
 from repro.mpi import MAX, MIN
-from repro.render import RenderedImage, blank_image, composite_over, rasterize_slice
+from repro.render import RenderedImage, blank_image, composite_over_into, rasterize_slice
 from repro.render.colormap import COOL_WARM, Colormap
-from repro.render.compositing import binary_swap
+from repro.render.compositing import FramebufferPool, binary_swap
 from repro.render.png import encode_png
 from repro.util.timers import timed
 
@@ -69,6 +69,8 @@ def _make_catalyst(config) -> "CatalystAdaptor":
         edition=config.get("edition", "rendering"),
         compression_level=config.get_int("compression_level", 6),
         frequency=config.get_int("frequency", 1),
+        png_workers=config.get_int("png_workers", 0),
+        framebuffer_pool=config.get_bool("framebuffer_pool", False),
     )
 
 
@@ -80,6 +82,11 @@ class CatalystAdaptor(AnalysisAdaptor):
     and :class:`MultiBlockDataset` meshes (the ADIOS endpoint, Nyx).  PNGs
     are written to ``output_dir`` when given; otherwise the encoded bytes
     are kept on ``last_png`` so callers (and tests) can consume them.
+
+    Two hot-path knobs ablate the paper's serial-rank-0 bottlenecks:
+    ``png_workers > 0`` switches rank 0 to the parallel chunked PNG deflate,
+    and ``framebuffer_pool=True`` reuses framebuffers across steps instead
+    of allocating fresh RGB/alpha triples every frame.
     """
 
     def __init__(
@@ -92,6 +99,8 @@ class CatalystAdaptor(AnalysisAdaptor):
         edition: str = "rendering",
         compression_level: int = 6,
         frequency: int = 1,
+        png_workers: int = 0,
+        framebuffer_pool: bool = False,
     ) -> None:
         super().__init__()
         if edition not in EDITIONS:
@@ -110,6 +119,11 @@ class CatalystAdaptor(AnalysisAdaptor):
             )
         self.compression_level = compression_level
         self.frequency = frequency
+        if png_workers < 0:
+            raise ValueError("png_workers must be non-negative")
+        self.png_workers = png_workers
+        self._use_pool = framebuffer_pool
+        self._pool: FramebufferPool | None = None
         self._comm = None
         self.images_written = 0
         self.last_png: bytes | None = None
@@ -119,6 +133,10 @@ class CatalystAdaptor(AnalysisAdaptor):
         if self.memory is not None:
             # The Edition's library footprint is a per-rank static cost.
             self.memory.add_static(self.edition.static_bytes, label="catalyst::edition")
+        if self._use_pool:
+            self._pool = FramebufferPool(
+                memory=self.memory, label="catalyst::framebuffer_pool"
+            )
         if self.output_dir and comm.rank == 0:
             os.makedirs(self.output_dir, exist_ok=True)
 
@@ -178,7 +196,10 @@ class CatalystAdaptor(AnalysisAdaptor):
         vmin = self._comm.allreduce(local_min, MIN)
         vmax = self._comm.allreduce(local_max, MAX)
         with timed(self.timers, "catalyst::render"):
-            partial = blank_image(width, height)
+            if self._pool is not None:
+                partial = self._pool.acquire(width, height)
+            else:
+                partial = blank_image(width, height)
             for frag in fragments:
                 img = rasterize_slice(
                     frag.values,
@@ -190,19 +211,31 @@ class CatalystAdaptor(AnalysisAdaptor):
                     vmin=vmin,
                     vmax=vmax,
                 )
-                partial = composite_over(partial, img)
-            if self.memory is not None:
+                # Earlier fragments stay in front (rank-order convention);
+                # in-place: no per-fragment framebuffer allocation.
+                composite_over_into(partial, img, out=partial)
+            if self.memory is not None and self._pool is None:
                 # Framebuffer lives for the duration of the composite;
-                # charge it into the high-water mark then release.
+                # charge it into the high-water mark then release.  (With a
+                # pool the buffer is charged persistently at first acquire.)
                 self.memory.allocate(partial.nbytes, label="catalyst::framebuffer")
                 self.memory.free(partial.nbytes, label="catalyst::framebuffer")
         with timed(self.timers, "catalyst::composite"):
-            final = binary_swap(self._comm, partial)
+            final = binary_swap(self._comm, partial, pool=self._pool)
+        if self._pool is not None and final is not partial:
+            # On a single rank binary_swap returns partial itself; releasing
+            # both would hand the same buffer out twice.
+            self._pool.release(partial)
         if final is not None:
-            # Serial PNG encode on rank 0 -- the Table 2 bottleneck.
+            # PNG encode on rank 0 -- serial by default (the Table 2
+            # bottleneck), parallel chunked deflate when png_workers > 0.
             with timed(self.timers, "catalyst::png"):
-                blob = encode_png(final.rgb, self.compression_level)
+                blob = encode_png(
+                    final.rgb, self.compression_level, workers=self.png_workers
+                )
             self.last_png = blob
+            if self._pool is not None:
+                self._pool.release(final)
             if self.output_dir:
                 path = os.path.join(self.output_dir, f"catalyst_{step:06d}.png")
                 with open(path, "wb") as fh:

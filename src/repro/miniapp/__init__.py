@@ -16,6 +16,7 @@ optional per-step synchronization, and a SENSEI data adaptor.
 
 from repro.miniapp.oscillator import Oscillator, OscillatorKind
 from repro.miniapp.input import parse_oscillators, read_oscillators, format_oscillators
+from repro.miniapp.kernel_cache import FieldKernelCache
 from repro.miniapp.simulation import OscillatorSimulation
 
 __all__ = [
@@ -24,5 +25,6 @@ __all__ = [
     "parse_oscillators",
     "read_oscillators",
     "format_oscillators",
+    "FieldKernelCache",
     "OscillatorSimulation",
 ]

@@ -45,18 +45,26 @@ class Oscillator:
             raise ValueError("oscillator omega must be positive")
         if self.kind is OscillatorKind.DAMPED and not 0.0 < self.zeta < 1.0:
             raise ValueError("damped oscillator requires 0 < zeta < 1")
+        # Derived constants for the damped response, computed once here so
+        # time_value (called every step on the solver hot path) does not pay
+        # two sqrt calls per invocation.  The dataclass is frozen, hence
+        # object.__setattr__.
+        if self.kind is OscillatorKind.DAMPED:
+            root = math.sqrt(1.0 - self.zeta * self.zeta)
+            object.__setattr__(self, "_wd", self.omega * root)
+            object.__setattr__(self, "_zeta_ratio", self.zeta / root)
+        else:
+            object.__setattr__(self, "_wd", self.omega)
+            object.__setattr__(self, "_zeta_ratio", 0.0)
 
     def time_value(self, t: float) -> float:
         """The oscillator's (spatially unweighted) signal at time ``t``."""
         if self.kind is OscillatorKind.PERIODIC:
             return math.cos(self.omega * t)
         if self.kind is OscillatorKind.DAMPED:
-            wd = self.omega * math.sqrt(1.0 - self.zeta * self.zeta)
             decay = math.exp(-self.zeta * self.omega * t)
             return decay * (
-                math.cos(wd * t)
-                + (self.zeta / math.sqrt(1.0 - self.zeta * self.zeta))
-                * math.sin(wd * t)
+                math.cos(self._wd * t) + self._zeta_ratio * math.sin(self._wd * t)
             )
         return math.exp(-self.omega * t)  # decaying
 

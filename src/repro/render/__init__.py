@@ -25,7 +25,13 @@ from repro.render.rasterize import (
     splat_points,
     blank_image,
 )
-from repro.render.compositing import binary_swap, direct_send, composite_over
+from repro.render.compositing import (
+    FramebufferPool,
+    binary_swap,
+    composite_over,
+    composite_over_into,
+    direct_send,
+)
 from repro.render.png import encode_png, decode_png
 from repro.render.isosurface import marching_tetrahedra
 
@@ -41,6 +47,8 @@ __all__ = [
     "binary_swap",
     "direct_send",
     "composite_over",
+    "composite_over_into",
+    "FramebufferPool",
     "encode_png",
     "decode_png",
     "marching_tetrahedra",

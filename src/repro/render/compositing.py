@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.render.rasterize import RenderedImage
+from repro.render.rasterize import RenderedImage, blank_image
+from repro.util.memory import MemoryTracker
 
 
 def composite_over(front: RenderedImage, back: RenderedImage) -> RenderedImage:
@@ -49,8 +50,112 @@ def composite_over(front: RenderedImage, back: RenderedImage) -> RenderedImage:
     return RenderedImage(rgb.astype(np.uint8), alpha.astype(np.uint8))
 
 
+def composite_over_into(
+    front: RenderedImage, back: RenderedImage, out: RenderedImage | None = None
+) -> RenderedImage:
+    """Composite ``front`` over ``back`` into ``out`` (default: ``back``).
+
+    The zero-alloc counterpart of :func:`composite_over`: no framebuffer
+    triple is created -- only a boolean selection mask.  ``out`` may alias
+    ``front`` or ``back``; its depth-carrying-ness must match theirs.  The
+    pixel semantics are identical to :func:`composite_over`.
+    """
+    if front.shape != back.shape:
+        raise ValueError("cannot composite images of different shapes")
+    if (front.depth is None) != (back.depth is None):
+        raise ValueError("both images must carry depth, or neither")
+    if out is None:
+        out = back
+    if out.shape != front.shape or (out.depth is None) != (front.depth is None):
+        raise ValueError("out must match the composited images' shape and depth")
+    if front.depth is not None:
+        take_front = front.depth <= back.depth
+    else:
+        take_front = front.alpha > 0
+    # Materialized 3-channel mask: copyto over a stride-0 broadcast mask is
+    # ~40% slower than over a contiguous one.
+    mask3 = np.repeat(take_front[..., None], 3, axis=2)
+    if out is not front:
+        np.copyto(out.rgb, front.rgb, where=mask3)
+        np.copyto(out.alpha, front.alpha, where=take_front)
+        if front.depth is not None:
+            np.copyto(out.depth, front.depth, where=take_front)
+    if out is not back:
+        np.copyto(out.rgb, back.rgb, where=~mask3)
+        np.copyto(out.alpha, back.alpha, where=~take_front)
+        if back.depth is not None:
+            np.copyto(out.depth, back.depth, where=~take_front)
+    return out
+
+
+class FramebufferPool:
+    """Reusable framebuffer allocator keyed by resolution and depth-ness.
+
+    Per-step rendering (Catalyst slice every timestep, Cinema camera
+    sweeps) re-creates identically shaped RGB/alpha/depth triples each
+    frame; the pool hands back released buffers instead.  With a
+    :class:`~repro.util.memory.MemoryTracker` attached, pooled buffers are
+    charged once at first allocation (a persistent footprint, the honest
+    way the space-for-time trade shows up in the fig04/fig07-style memory
+    experiments) rather than churning the high-water mark every frame.
+    """
+
+    def __init__(
+        self,
+        memory: MemoryTracker | None = None,
+        label: str = "render::framebuffer_pool",
+    ) -> None:
+        self.memory = memory
+        self.label = label
+        self._free: dict[tuple[int, int, bool], list[RenderedImage]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.allocated_nbytes = 0
+
+    def acquire(
+        self, width: int, height: int, with_depth: bool = False, clear: bool = True
+    ) -> RenderedImage:
+        """A ``width x height`` framebuffer, reused when one is free.
+
+        ``clear=True`` resets it to the :func:`blank_image` state; pass
+        ``False`` when every pixel will be overwritten anyway.
+        """
+        stack = self._free.get((height, width, with_depth))
+        if stack:
+            self.hits += 1
+            img = stack.pop()
+            if clear:
+                img.rgb.fill(0)
+                img.alpha.fill(0)
+                if img.depth is not None:
+                    img.depth.fill(np.inf)
+            return img
+        self.misses += 1
+        img = blank_image(width, height, with_depth=with_depth)
+        self.allocated_nbytes += img.nbytes
+        if self.memory is not None:
+            self.memory.allocate(img.nbytes, label=self.label)
+        return img
+
+    def release(self, img: RenderedImage) -> None:
+        """Return a framebuffer for reuse; the caller must drop its ref."""
+        key = (img.shape[0], img.shape[1], img.depth is not None)
+        self._free.setdefault(key, []).append(img)
+
+    def drain(self) -> None:
+        """Drop all pooled buffers and return their bytes to the tracker."""
+        if self.memory is not None:
+            self.memory.free(self.allocated_nbytes, label=self.label)
+        self.allocated_nbytes = 0
+        self._free.clear()
+
+
 def _split_rows(img: RenderedImage, parts: int) -> list[RenderedImage]:
-    """Split a framebuffer into ``parts`` contiguous row bands."""
+    """Split a framebuffer into ``parts`` contiguous row-band *views*.
+
+    No pixel data is copied; callers may read the bands or hand them to the
+    communicator (which copies payloads on send, as real MPI would).
+    """
     h = img.shape[0]
     bounds = [h * p // parts for p in range(parts + 1)]
     out = []
@@ -58,16 +163,21 @@ def _split_rows(img: RenderedImage, parts: int) -> list[RenderedImage]:
         sl = slice(bounds[p], bounds[p + 1])
         out.append(
             RenderedImage(
-                img.rgb[sl].copy(),
-                img.alpha[sl].copy(),
-                None if img.depth is None else img.depth[sl].copy(),
+                img.rgb[sl],
+                img.alpha[sl],
+                None if img.depth is None else img.depth[sl],
             )
         )
     return out
 
 
 def direct_send(comm, partial: RenderedImage, root: int = 0) -> RenderedImage | None:
-    """Every rank sends its partial to the root; root composites in rank order."""
+    """Every rank sends its partial to the root; root composites in rank order.
+
+    The gathered pieces are root-owned copies (the communicator copies
+    payloads, as real MPI would), so the rank-order fold composites in
+    place instead of allocating a fresh framebuffer per rank.
+    """
     pieces = comm.gather(
         (partial.rgb, partial.alpha, partial.depth), root=root
     )
@@ -76,11 +186,13 @@ def direct_send(comm, partial: RenderedImage, root: int = 0) -> RenderedImage | 
     images = [RenderedImage(r, a, d) for (r, a, d) in pieces]
     result = images[0]
     for img in images[1:]:
-        result = composite_over(result, img)
+        result = composite_over_into(result, img, out=img)
     return result
 
 
-def binary_swap(comm, partial: RenderedImage, root: int = 0) -> RenderedImage | None:
+def binary_swap(
+    comm, partial: RenderedImage, root: int = 0, pool: FramebufferPool | None = None
+) -> RenderedImage | None:
     """Binary-swap compositing; final image assembled on ``root``.
 
     Works for any communicator size: ranks beyond the largest power of two
@@ -92,6 +204,13 @@ def binary_swap(comm, partial: RenderedImage, root: int = 0) -> RenderedImage | 
     pixels outrank a lower active rank's.  (The funnel serializes up to
     size - 2^floor(log2 size) receives on one rank; production compositors
     avoid that with depth-carrying payloads instead.)
+
+    The rounds are allocation-free on the compositing side: each rank keeps
+    its retained half as a *view*, sends the other half (the communicator
+    copies payloads, modeling the network buffer), and composites in place
+    into the received copy it owns.  A :class:`FramebufferPool` additionally
+    recycles the root's stitched output across frames; the caller releases
+    it back to the pool when done with the frame.
     """
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -105,7 +224,10 @@ def binary_swap(comm, partial: RenderedImage, root: int = 0) -> RenderedImage | 
         elif rank == funnel:
             for src in range(active, size):
                 r, a, d = comm.recv(source=src, tag=900)
-                partial = composite_over(partial, RenderedImage(r, a, d))
+                # The received triple is a rank-local copy: composite into
+                # it in place (funnel pixels are front, rank order).
+                img = RenderedImage(r, a, d)
+                partial = composite_over_into(partial, img, out=img)
     if rank >= active:
         # Folded ranks still participate in the final gather collective.
         comm.gather(None, root=root)
@@ -132,12 +254,15 @@ def binary_swap(comm, partial: RenderedImage, root: int = 0) -> RenderedImage | 
             sendtag=901,
             recvtag=901,
         )
+        # ``other`` is this rank's own copy of the peer's band; ``keep`` is
+        # a read-only view into ``my`` -- so compositing writes into
+        # ``other`` and no framebuffer is allocated this round.
         other = RenderedImage(*got)
         # Lower rank block composites as front (rank-order convention).
         if rank < peer:
-            my = composite_over(keep, other)
+            my = composite_over_into(keep, other, out=other)
         else:
-            my = composite_over(other, keep)
+            my = composite_over_into(other, keep, out=other)
         if not in_low:
             row0 += low_band.shape[0]
         stride *= 2
@@ -150,9 +275,11 @@ def binary_swap(comm, partial: RenderedImage, root: int = 0) -> RenderedImage | 
     total_h = sum(b[1].shape[0] for b in bands)
     width = bands[0][1].shape[1]
     with_depth = bands[0][3] is not None
-    from repro.render.rasterize import blank_image
-
-    out = blank_image(width, total_h, with_depth=with_depth)
+    if pool is not None:
+        # Every pixel is overwritten by the stitch below.
+        out = pool.acquire(width, total_h, with_depth=with_depth, clear=False)
+    else:
+        out = blank_image(width, total_h, with_depth=with_depth)
     for r0, rgb, alpha, depth in bands:
         h = rgb.shape[0]
         out.rgb[r0 : r0 + h] = rgb

@@ -161,9 +161,13 @@ def splat_points(
     cx, cy, d, cols = cx[order], cy[order], d[order], cols[order]
     for dx in range(-radius, radius + 1):
         for dy in range(-radius, radius + 1):
-            px = np.clip(cx + dx, 0, width - 1)
-            py = np.clip(cy + dy, 0, height - 1)
-            img.rgb[py, px] = cols
-            img.alpha[py, px] = 255
-            img.depth[py, px] = d
+            px = cx + dx
+            py = cy + dy
+            # Mask splat pixels that fall outside the viewport; clamping
+            # them instead would re-write border pixels once per
+            # out-of-bounds offset and smear sprite edges along the frame.
+            ok = (px >= 0) & (px < width) & (py >= 0) & (py < height)
+            img.rgb[py[ok], px[ok]] = cols[ok]
+            img.alpha[py[ok], px[ok]] = 255
+            img.depth[py[ok], px[ok]] = d[ok]
     return img

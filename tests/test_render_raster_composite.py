@@ -6,16 +6,19 @@ import pytest
 from repro.mpi import run_spmd
 from repro.render import (
     GRAY,
+    FramebufferPool,
     RenderedImage,
     binary_swap,
     blank_image,
     composite_over,
+    composite_over_into,
     direct_send,
     marching_tetrahedra,
     rasterize_slice,
     splat_points,
 )
 from repro.render.isosurface import isosurface_points
+from repro.util.memory import MemoryTracker
 
 
 class TestBlankImage:
@@ -117,6 +120,26 @@ class TestSplatPoints:
         with pytest.raises(ValueError):
             splat_points(np.ones((1, 2)), np.ones(1), np.ones((1, 3)), 4, 4, (1, 1, 0, 1))
 
+    def test_border_splat_does_not_smear(self):
+        """A sprite centered on the border covers only its in-viewport
+        pixels; clamped offsets must not re-paint the frame edge."""
+        pts = np.array([[0.0, 0.5]])  # center on the left edge
+        img = splat_points(
+            pts, np.array([1.0]), np.array([[9, 9, 9]]), 9, 9, (0, 1, 0, 1), radius=1
+        )
+        # 2x3 footprint: columns 0..1, rows 3..5 -- nothing else.
+        assert int((img.alpha > 0).sum()) == 6
+        assert img.alpha[3:6, 0:2].all()
+
+    def test_corner_splat_covers_quarter(self):
+        pts = np.array([[0.0, 0.0]])
+        img = splat_points(
+            pts, np.array([1.0]), np.array([[7, 7, 7]]), 9, 9, (0, 1, 0, 1), radius=2
+        )
+        # Only the 3x3 in-bounds quarter of the 5x5 sprite is painted.
+        assert int((img.alpha > 0).sum()) == 9
+        assert img.alpha[0:3, 0:3].all()
+
 
 class TestCompositeOver:
     def _img(self, val, mask, depth=None):
@@ -154,6 +177,101 @@ class TestCompositeOver:
         b = RenderedImage(np.zeros((3, 3, 3), np.uint8), np.zeros((3, 3), np.uint8))
         with pytest.raises(ValueError):
             composite_over(a, b)
+
+
+class TestCompositeOverInto:
+    def _random_pair(self, seed, with_depth):
+        rng = np.random.default_rng(seed)
+
+        def mk():
+            rgb = rng.integers(0, 256, (5, 7, 3), dtype=np.uint8)
+            alpha = (rng.random((5, 7)) < 0.6).astype(np.uint8) * 255
+            depth = None
+            if with_depth:
+                depth = np.where(
+                    alpha > 0, rng.random((5, 7)).astype(np.float32), np.inf
+                ).astype(np.float32)
+            return RenderedImage(rgb, alpha, depth)
+
+        return mk(), mk()
+
+    @pytest.mark.parametrize("with_depth", [False, True])
+    @pytest.mark.parametrize("target", ["back", "front", "fresh"])
+    def test_matches_composite_over(self, with_depth, target):
+        """In-place result is pixel-identical to the allocating one for
+        every legal aliasing of ``out``."""
+        for seed in range(5):
+            front, back = self._random_pair(seed, with_depth)
+            expected = composite_over(front, back)
+            f, b = front.copy(), back.copy()
+            out = {"back": b, "front": f, "fresh": blank_image(7, 5, with_depth)}[
+                target
+            ]
+            got = composite_over_into(f, b, out=out)
+            assert got is out
+            assert np.array_equal(got.rgb, expected.rgb)
+            assert np.array_equal(got.alpha, expected.alpha)
+            if with_depth:
+                assert np.array_equal(got.depth, expected.depth)
+
+    def test_default_out_is_back(self):
+        front, back = self._random_pair(3, False)
+        expected = composite_over(front, back)
+        got = composite_over_into(front, back)
+        assert got is back
+        assert np.array_equal(got.rgb, expected.rgb)
+
+    def test_validation(self):
+        front, back = self._random_pair(0, False)
+        with pytest.raises(ValueError):
+            composite_over_into(front, blank_image(3, 3))
+        with pytest.raises(ValueError):
+            composite_over_into(front, back, out=blank_image(7, 5, with_depth=True))
+        with_d, _ = self._random_pair(0, True)
+        with pytest.raises(ValueError):
+            composite_over_into(with_d, back)
+
+
+class TestFramebufferPool:
+    def test_acquire_release_reuses_buffer(self):
+        pool = FramebufferPool()
+        a = pool.acquire(8, 4)
+        a.rgb[:] = 77
+        a.alpha[:] = 255
+        pool.release(a)
+        b = pool.acquire(8, 4)
+        assert b is a  # same buffer back
+        assert b.coverage() == 0.0  # cleared to blank state
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_acquire_no_clear_keeps_pixels(self):
+        pool = FramebufferPool()
+        a = pool.acquire(4, 4, with_depth=True)
+        a.rgb[:] = 5
+        pool.release(a)
+        b = pool.acquire(4, 4, with_depth=True, clear=False)
+        assert (b.rgb == 5).all()
+
+    def test_shapes_and_depthness_keyed_separately(self):
+        pool = FramebufferPool()
+        a = pool.acquire(4, 4)
+        pool.release(a)
+        b = pool.acquire(4, 4, with_depth=True)
+        assert b is not a
+        assert pool.misses == 2
+
+    def test_memory_charged_once_and_drained(self):
+        mem = MemoryTracker()
+        pool = FramebufferPool(memory=mem, label="test::pool")
+        img = pool.acquire(16, 16)
+        assert mem.named("test::pool") == img.nbytes
+        pool.release(img)
+        again = pool.acquire(16, 16)
+        assert mem.named("test::pool") == again.nbytes  # reuse: no new charge
+        pool.release(again)
+        pool.drain()
+        assert mem.named("test::pool") == 0
+        assert mem.current == 0
 
 
 def _rank_band_image(comm, width=16, height=32, with_depth=False):
@@ -226,6 +344,48 @@ class TestParallelCompositing:
 
         ds0, bs0 = run_spmd(4, prog)[0]
         assert ds0 == 10 and bs0 == 10
+
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 8])
+    def test_pooled_swap_matches_unpooled(self, nranks):
+        """binary_swap with a FramebufferPool is pixel-identical and, after
+        the first frame, allocation-free on the stitching root."""
+
+        def prog(comm):
+            pool = FramebufferPool()
+            img = _rank_band_image(comm)
+            finals = []
+            for _ in range(3):
+                out = binary_swap(comm, img, pool=pool)
+                if out is not None:
+                    finals.append((out.rgb.copy(), out.alpha.copy()))
+                    if out is not img:  # size 1 returns the partial itself
+                        pool.release(out)
+            ref = binary_swap(comm, img.copy())
+            if comm.rank != 0:
+                return None
+            return finals, (ref.rgb, ref.alpha), pool.misses
+
+        finals, (ref_rgb, ref_alpha), misses = run_spmd(nranks, prog)[0]
+        for rgb, alpha in finals:
+            assert np.array_equal(rgb, ref_rgb)
+            assert np.array_equal(alpha, ref_alpha)
+        assert misses <= 1
+
+    def test_partial_not_mutated_by_swap(self):
+        """The caller's partial image survives binary_swap untouched (the
+        zero-alloc rounds must only write into received copies)."""
+
+        def prog(comm):
+            img = _rank_band_image(comm, with_depth=True)
+            before = (img.rgb.copy(), img.alpha.copy(), img.depth.copy())
+            binary_swap(comm, img)
+            return (
+                np.array_equal(img.rgb, before[0])
+                and np.array_equal(img.alpha, before[1])
+                and np.array_equal(img.depth, before[2])
+            )
+
+        assert all(run_spmd(6, prog))
 
 
 class TestMarchingTetrahedra:
