@@ -165,4 +165,6 @@ class HistogramAnalysis(AnalysisAdaptor):
         return True
 
     def finalize(self) -> list[Histogram] | None:
+        if self.memory is not None:
+            self.memory.free(self.bins * 8, label="histogram::bins")
         return self.history if self.history else None

@@ -6,6 +6,7 @@
     python -m repro run fig10         # one experiment's rows
     python -m repro run all           # everything
     python -m repro run table1 fig17  # a subset
+    python -m repro lint src/         # repo-contract linter
 """
 
 from __future__ import annotations
@@ -34,11 +35,26 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="+",
         help="experiment names (see 'list'), or 'all'",
     )
+    lint = sub.add_parser(
+        "lint", help="run the repo-contract linter (see repro.lint)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files or directories (default: src/)"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        from repro.lint import main as lint_main
+
+        return lint_main(
+            (["--list-rules"] if args.list_rules else []) + list(args.paths)
+        )
     catalog = available_experiments()
     if args.command == "list":
         width = max(len(n) for n in catalog)

@@ -87,7 +87,21 @@ class AnalysisAdaptor(abc.ABC):
     ``execute`` returns ``True`` to let the simulation continue (computational
     steering hooks use ``False`` to request a stop).  ``initialize`` /
     ``finalize`` bracket the run and are where one-time costs (Fig. 5) live.
+
+    Data-access contract: arrays and meshes obtained from the
+    :class:`DataAdaptor` during ``execute`` are zero-copy views of
+    simulation-owned memory.  They must not be written to, and must not be
+    retained past the adaptor's ``release_data()`` (deep-copy anything kept
+    across steps).  ``Bridge(..., sanitize=True)`` enforces both rules at
+    runtime.  Analyses that legitimately transform their input in place set
+    :attr:`mutates_data`; under the sanitizer they then receive a private
+    deep copy instead of the simulation's buffers.
     """
+
+    #: Declare that ``execute`` writes to arrays obtained from the data
+    #: adaptor.  The sanitizer hands such analyses deep copies rather than
+    #: write-protected zero-copy views.
+    mutates_data: bool = False
 
     def __init__(self) -> None:
         self.timers: "TimerRegistry | None" = None

@@ -9,6 +9,13 @@ metadata to the data adaptor and call execute on the analysis adaptors."
 The bridge is also the measurement point: it times ``initialize``,
 ``analysis::initialize``, per-step per-analysis ``execute``, and
 ``finalize`` -- exactly the phase breakdown of Figs. 5-6.
+
+With ``sanitize=True`` the bridge additionally routes all analysis data
+access through :class:`repro.sanitize.GuardedDataAdaptor`: analyses receive
+write-protected zero-copy views, buffer fingerprints are re-verified after
+each ``execute``, and retention past ``release_data()`` is detected via
+weakrefs -- violations raise naming the offending analysis.  The mode is off
+by default and adds nothing to the hot path when disabled.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from repro.util.timers import TimerRegistry, timed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi import Communicator
+    from repro.sanitize import GuardedDataAdaptor
     from repro.util import MemoryTracker
 
 
@@ -32,11 +40,19 @@ class Bridge:
         data_adaptor: DataAdaptor,
         timers: TimerRegistry | None = None,
         memory: "MemoryTracker | None" = None,
+        sanitize: bool = False,
     ) -> None:
         self.comm = comm
         self.data_adaptor = data_adaptor
         self.timers = timers if timers is not None else TimerRegistry()
         self.memory = memory
+        self.sanitize = bool(sanitize)
+        self._guard: "GuardedDataAdaptor | None" = None
+        if self.sanitize:
+            # Imported lazily so the sanitizer costs nothing when disabled.
+            from repro.sanitize import GuardedDataAdaptor as _Guard
+
+            self._guard = _Guard(data_adaptor)
         self._analyses: list[AnalysisAdaptor] = []
         self._initialized = False
         self._finalized = False
@@ -69,12 +85,28 @@ class Bridge:
         if self._finalized:
             raise RuntimeError("bridge.execute() after finalize()")
         self.data_adaptor.set_data_time(time, step)
+        if self._guard is not None:
+            return self._execute_sanitized(time, step)
         keep_going = True
         with timed(self.timers, "sensei::execute"):
             for a in self._analyses:
                 with timed(self.timers, f"sensei::execute::{a.name}"):
                     keep_going = a.execute(self.data_adaptor) and keep_going
         self.data_adaptor.release_data()
+        return keep_going
+
+    def _execute_sanitized(self, time: float, step: int) -> bool:
+        guard = self._guard
+        assert guard is not None
+        guard.set_data_time(time, step)
+        keep_going = True
+        with timed(self.timers, "sensei::execute"):
+            for a in self._analyses:
+                guard.begin_analysis(a)
+                with timed(self.timers, f"sensei::execute::{a.name}"):
+                    keep_going = a.execute(guard) and keep_going
+                guard.verify_analysis(a)
+        guard.release_and_check()
         return keep_going
 
     def finalize(self) -> dict[str, object]:
@@ -91,4 +123,14 @@ class Bridge:
                     out = a.finalize()
                 if out is not None:
                     results[a.name] = out
+        if self.sanitize:
+            dangling = self.timers.active()
+            if dangling:
+                from repro.sanitize import SanitizerError
+
+                raise SanitizerError(
+                    "timers still running at bridge finalize (unbalanced "
+                    f"start/stop): {', '.join(dangling)}.  Phase totals "
+                    "derived from these timers (Figs. 5-6) would be wrong."
+                )
         return results

@@ -12,6 +12,7 @@ the memory tracker can verify the zero-copy invariant mechanically.
 from __future__ import annotations
 
 import enum
+import zlib
 from typing import Sequence
 
 import numpy as np
@@ -52,6 +53,15 @@ class DataArray:
         #: Original interleaved array when built via :meth:`from_aos`; lets
         #: :meth:`as_aos` hand back the simulation's buffer without a copy.
         self._aos_base: np.ndarray | None = None
+        #: Bytes copied while *constructing* this array (0 for the zero-copy
+        #: constructors; ``nbytes`` for :meth:`deep_copy` results).
+        self._construction_copied: int = 0
+        #: Bytes copied by layout conversions (:meth:`as_aos` on SoA data)
+        #: since construction.
+        self._conversion_copied: int = 0
+        #: True for arrays produced by :meth:`readonly_view` -- the
+        #: sanitizer's write-protected hand-off mode.
+        self._guarded = False
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -80,7 +90,12 @@ class DataArray:
         """
         a = np.asarray(array)
         flat = a.reshape(-1)
-        return cls(name, [flat], SOA)
+        arr = cls(name, [flat], SOA)
+        if a.size and not np.shares_memory(flat, a):
+            # reshape of non-contiguous input copies; record it honestly so
+            # is_zero_copy stays a mechanical truth, not an assumption.
+            arr._construction_copied = flat.nbytes
+        return arr
 
     # -- introspection --------------------------------------------------------
     @property
@@ -102,6 +117,69 @@ class DataArray:
     def is_zero_copy_of(self, owner: np.ndarray) -> bool:
         """True if every component shares memory with ``owner``."""
         return all(np.shares_memory(c, owner) for c in self._components)
+
+    @property
+    def is_zero_copy(self) -> bool:
+        """True if constructing this array copied no simulation bytes.
+
+        Constructors (:meth:`from_soa`, :meth:`from_aos`, :meth:`from_numpy`
+        on contiguous input) never copy, so this is normally True;
+        :meth:`deep_copy` results and :meth:`from_numpy` over non-contiguous
+        input report False.  Conversion copies (:meth:`as_aos` on SoA data)
+        are tracked separately in :attr:`nbytes_copied`.
+        """
+        return self._construction_copied == 0
+
+    @property
+    def nbytes_copied(self) -> int:
+        """Total bytes this array has copied: at construction plus every
+        layout-conversion copy performed so far.  The mechanical check
+        behind the paper's zero-copy mapping claim (Sec. 3.2)."""
+        return self._construction_copied + self._conversion_copied
+
+    @property
+    def writeable(self) -> bool:
+        """True if every component accepts in-place writes."""
+        return all(c.flags.writeable for c in self._components)
+
+    @property
+    def guarded(self) -> bool:
+        """True for write-protected views produced by :meth:`readonly_view`."""
+        return self._guarded
+
+    def readonly_view(self, name: str | None = None) -> "DataArray":
+        """A zero-copy, write-protected view of this array.
+
+        The sanitizer hands these to analyses in debug mode: any in-place
+        write through the view raises ``ValueError`` at the write site.
+        NumPy cannot prevent a determined caller from re-enabling the
+        writeable flag, which is why the sanitizer also fingerprints the
+        underlying buffers (:meth:`fingerprint`) as a backstop.
+        """
+        comps = []
+        for c in self._components:
+            v = c.view()
+            v.flags.writeable = False
+            comps.append(v)
+        out = DataArray(name or self.name, comps, self.layout)
+        if self._aos_base is not None:
+            base = self._aos_base.view()
+            base.flags.writeable = False
+            out._aos_base = base
+        out._guarded = True
+        return out
+
+    def fingerprint(self) -> int:
+        """A content fingerprint (CRC-32 over components, shape, dtype).
+
+        Cheap enough for debug-mode per-step checks; collisions are
+        possible but vanishingly unlikely for accidental mutations.
+        """
+        h = 0
+        for c in self._components:
+            h = zlib.crc32(repr((c.shape, str(c.dtype))).encode(), h)
+            h = zlib.crc32(c.tobytes(), h)
+        return h
 
     @property
     def owns_data(self) -> bool:
@@ -132,7 +210,9 @@ class DataArray:
         """Interleaved ``(n, ncomp)`` array; copies iff stored as SoA."""
         if self._aos_base is not None:
             return self._aos_base
-        return np.column_stack(self._components)
+        out = np.column_stack(self._components)
+        self._conversion_copied += out.nbytes
+        return out
 
     def as_soa(self) -> list[np.ndarray]:
         """Per-component arrays; never copies (columns are views for AoS)."""
@@ -149,9 +229,11 @@ class DataArray:
 
     def deep_copy(self, name: str | None = None) -> "DataArray":
         """An owning copy (the ablation counterpart to zero-copy mapping)."""
-        return DataArray(
+        out = DataArray(
             name or self.name, [c.copy() for c in self._components], self.layout
         )
+        out._construction_copied = out.nbytes
+        return out
 
     def min(self) -> float:
         return float(min(c.min() for c in self._components))

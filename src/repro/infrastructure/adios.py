@@ -224,13 +224,17 @@ def run_endpoint(
     n_endpoints: int,
     analysis: AnalysisAdaptor,
     timers: TimerRegistry | None = None,
+    sanitize: bool = False,
 ) -> Any:
     """The endpoint executable's main loop.
 
     Receives steps from the assigned writers until every one signals EOS,
     driving ``analysis`` once per completed step.  The reader initialization
     (Fig. 9's expensive phase on Cori) is the analysis initialize plus the
-    first-contact handshakes.
+    first-contact handshakes.  With ``sanitize=True`` the analysis sees the
+    received blocks through a :class:`~repro.sanitize.GuardedDataAdaptor`,
+    so the zero-copy write/retention contract is enforced on the endpoint
+    side of the staging transport too.
     """
     timers = timers if timers is not None else TimerRegistry()
     my_writers = writers_for_endpoint(endpoint_rank, n_writers, n_endpoints)
@@ -238,6 +242,11 @@ def run_endpoint(
         analysis.set_instrumentation(timers, analysis.memory)
         analysis.initialize(endpoint_comm)
     adaptor = EndpointDataAdaptor(endpoint_comm, n_writers)
+    guard = None
+    if sanitize:
+        from repro.sanitize import GuardedDataAdaptor
+
+        guard = GuardedDataAdaptor(adaptor)
     open_writers = set(my_writers)
     # Issue one flow-control token per writer up front.
     for w in open_writers:
@@ -265,9 +274,17 @@ def run_endpoint(
         if not got_any:
             break
         adaptor.set_data_time(step_time, step_idx)
-        with timed(timers, "endpoint::analysis"):
-            analysis.execute(adaptor)
-        adaptor.release_data()
+        if guard is not None:
+            guard.set_data_time(step_time, step_idx)
+            guard.begin_analysis(analysis)
+            with timed(timers, "endpoint::analysis"):
+                analysis.execute(guard)
+            guard.verify_analysis(analysis)
+            guard.release_and_check()
+        else:
+            with timed(timers, "endpoint::analysis"):
+                analysis.execute(adaptor)
+            adaptor.release_data()
         # Release the next flow-control token to writers still streaming.
         for w in sorted(open_writers):
             world.send(None, dest=w, tag=_TAG_READY)
@@ -283,13 +300,16 @@ def run_flexpath_job(
     analysis_factory: Callable[[Communicator], AnalysisAdaptor],
     array: str = "data",
     timeout: float = 120.0,
+    sanitize: bool = False,
 ) -> FlexPathJobResult:
     """Run a complete staged job: writers + endpoint in one SPMD world.
 
     ``writer_program(sim_comm, writer_adaptor)`` must drive the simulation
     and a bridge containing ``writer_adaptor`` (and call the bridge's
     finalize, which sends EOS).  ``analysis_factory(endpoint_comm)`` builds
-    the analysis the endpoint hosts.
+    the analysis the endpoint hosts.  ``sanitize`` enables the zero-copy
+    write/retention guard around the endpoint's analysis (see
+    :func:`run_endpoint`).
     """
     if n_writers <= 0 or n_endpoints <= 0:
         raise ValueError("writer and endpoint counts must be positive")
@@ -313,7 +333,13 @@ def run_flexpath_job(
         return (
             "endpoint",
             run_endpoint(
-                world, group, endpoint_rank, n_writers, n_endpoints, analysis
+                world,
+                group,
+                endpoint_rank,
+                n_writers,
+                n_endpoints,
+                analysis,
+                sanitize=sanitize,
             ),
         )
 

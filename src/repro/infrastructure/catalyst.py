@@ -21,7 +21,7 @@ from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
 from repro.core.configurable import register_analysis
 from repro.data import Association, ImageData, MultiBlockDataset
 from repro.mpi import MAX, MIN
-from repro.render import RenderedImage, blank_image, composite_over_into, rasterize_slice
+from repro.render import blank_image, composite_over_into, rasterize_slice
 from repro.render.colormap import COOL_WARM, Colormap
 from repro.render.compositing import FramebufferPool, binary_swap
 from repro.render.png import encode_png

@@ -131,6 +131,13 @@ class GleanAdaptor(AnalysisAdaptor):
                         self._comm.recv(tag=2000 + step % 100)
                     )
                 blocks.sort(key=lambda b: b[0])
+                if self.memory is not None:
+                    # The aggregator holds every group member's block until
+                    # the file write drains; charge the staging footprint
+                    # into the high-water mark then release (Fig. 4 idiom).
+                    staged = sum(b[2].nbytes for b in blocks)
+                    self.memory.allocate(staged, label="glean::staged")
+                    self.memory.free(staged, label="glean::staged")
                 if self.asynchronous:
                     # Wait out any previous drain, then write in background.
                     if self._drain is not None:

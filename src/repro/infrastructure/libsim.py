@@ -198,6 +198,13 @@ class LibsimAdaptor(AnalysisAdaptor):
                         img = self._render_isosurface_plot(plot, mesh, data)
                         depth_partial = composite_over(img, depth_partial)
                         have_depth = True
+            if self.memory is not None:
+                # Framebuffers live for the render+composite span; charge
+                # them into the high-water mark then release, mirroring the
+                # Catalyst adaptor's accounting.
+                fb = flat_partial.nbytes + (depth_partial.nbytes if have_depth else 0)
+                self.memory.allocate(fb, label="libsim::framebuffer")
+                self.memory.free(fb, label="libsim::framebuffer")
             with timed(self.timers, "libsim::composite"):
                 flat_final = direct_send(self._comm, flat_partial)
                 depth_final = (

@@ -24,7 +24,13 @@ operation sequences through calibrated machine models.
 """
 
 from repro.mpi.ops import MAX, MIN, PROD, SUM, ReduceOp
-from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, MPIError
+from repro.mpi.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CollectiveMismatchError,
+    Communicator,
+    MPIError,
+)
 from repro.mpi.launcher import SPMDError, run_spmd
 from repro.mpi.halo import HaloExchanger
 
@@ -32,6 +38,7 @@ __all__ = [
     "HaloExchanger",
     "Communicator",
     "MPIError",
+    "CollectiveMismatchError",
     "ANY_SOURCE",
     "ANY_TAG",
     "ReduceOp",

@@ -11,6 +11,19 @@ reuses the slots.  Because SPMD programs call collectives in program order on
 every rank, two barrier phases per collective are sufficient -- the same
 two-phase discipline real cyclic-barrier collectives use.
 
+Every collective also deposits a :data:`trace record <CollectiveRecord>`
+(kind, reduce op, root, payload signature) alongside its payload.  After the
+first barrier phase each rank cross-checks the whole record row: ranks that
+reached the same barrier through *different* collectives -- the SPMD bug that
+manifests as a silent deadlock in real MPI -- raise an immediate
+:class:`CollectiveMismatchError` printing the per-rank divergence, instead of
+burning the :data:`DEFAULT_TIMEOUT` watchdog.  Reduction-family collectives
+additionally fast-fail on incompatible payload shapes/dtypes/ops.  With
+``trace_collectives=True`` (see :func:`~repro.mpi.launcher.run_spmd`) records
+carry call sites and a per-rank rolling history for richer diagnostics, and
+wildcard (``ANY_SOURCE``/``ANY_TAG``) receives that race against multiple
+matching sends are flagged on :attr:`Communicator.race_events`.
+
 Point-to-point messaging uses one mailbox (list + condition variable) per
 receiving rank; ``recv`` blocks until a message matching ``(source, tag)``
 arrives.  Payloads that expose numpy buffers are copied on receive so ranks
@@ -20,8 +33,11 @@ accounting experiments.
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 import time
+from collections import deque
 from typing import Any, Callable
 
 import numpy as np
@@ -35,9 +51,80 @@ ANY_TAG = -1
 #: programs under test should never legitimately block this long.
 DEFAULT_TIMEOUT = 120.0
 
+#: Collectives whose deposited payloads must be shape/dtype/op compatible
+#: across ranks for the fold to be well defined.
+_REDUCING_KINDS = frozenset({"reduce", "allreduce", "allreduce_minmax", "exscan"})
+
+#: Per-rank collective records retained for trace diagnostics.
+_HISTORY_LIMIT = 32
+
+_MPI_DIR = os.path.dirname(os.path.abspath(__file__))
+
 
 class MPIError(RuntimeError):
     """Raised for misuse of the communicator (mismatched calls, deadlock)."""
+
+
+class CollectiveMismatchError(MPIError):
+    """Ranks entered the same barrier through divergent collective calls
+    (different kinds, reduce ops, roots, or incompatible payloads)."""
+
+
+#: A collective trace record: ``(seq, kind, op, root, payload_sig, site)``.
+CollectiveRecord = tuple[int, str, "str | None", "int | None", "tuple | None", "str | None"]
+
+
+def _payload_signature(value: Any) -> tuple:
+    """Shape/dtype signature for reduction compatibility checks.
+
+    All Python/NumPy numeric scalars fold interchangeably, so they share
+    one signature; ndarrays are compared by shape and dtype; other payload
+    types (e.g. mergeable dataclasses under a custom op) by type name.
+    """
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, str(value.dtype))
+    if isinstance(value, (bool, int, float, complex, np.number)):
+        return ("scalar",)
+    return (type(value).__name__,)
+
+
+def _format_signature(sig: "tuple | None") -> str:
+    if sig is None:
+        return ""
+    if sig[0] == "ndarray":
+        return f"ndarray(shape={sig[1]}, dtype={sig[2]})"
+    return sig[0]
+
+
+def _call_site() -> str:
+    """First stack frame outside this package (best-effort, debug only)."""
+    frame = sys._getframe(1)
+    while frame is not None and os.path.dirname(
+        os.path.abspath(frame.f_code.co_filename)
+    ) == _MPI_DIR:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - defensive
+        return "<unknown>"
+    return (
+        f"{os.path.basename(frame.f_code.co_filename)}:{frame.f_lineno} "
+        f"in {frame.f_code.co_name}"
+    )
+
+
+def _format_record(record: "CollectiveRecord | None") -> str:
+    if record is None:
+        return "<no record>"
+    seq, kind, op, root, sig, site = record
+    parts = []
+    if op is not None:
+        parts.append(f"op={op}")
+    if root is not None:
+        parts.append(f"root={root}")
+    if sig is not None:
+        parts.append(f"payload={_format_signature(sig)}")
+    call = f"{kind}({', '.join(parts)})"
+    where = f" at {site}" if site else ""
+    return f"#{seq} {call}{where}"
 
 
 class _Mailbox:
@@ -60,7 +147,13 @@ class _Mailbox:
                 return idx
         return None
 
-    def get(self, source: int, tag: int, timeout: float) -> tuple[int, int, Any]:
+    def get(
+        self,
+        source: int,
+        tag: int,
+        timeout: float,
+        race_cb: "Callable[[list[tuple[int, int]]], None] | None" = None,
+    ) -> tuple[int, int, Any]:
         with self._cond:
             idx = self._match(source, tag)
             deadline = time.monotonic() + timeout
@@ -73,15 +166,34 @@ class _Mailbox:
                     )
                 self._cond.wait(remaining)
                 idx = self._match(source, tag)
+            if race_cb is not None and (source == ANY_SOURCE or tag == ANY_TAG):
+                matches = [
+                    (src, t)
+                    for src, t, _ in self._messages
+                    if (source == ANY_SOURCE or src == source)
+                    and (tag == ANY_TAG or t == tag)
+                ]
+                if len(matches) > 1:
+                    race_cb(matches)
             return self._messages.pop(idx)
 
 
 class _Context:
     """Shared state for one communicator: slots, barrier, mailboxes."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, trace: bool = False) -> None:
         self.size = size
         self.slots: list[Any] = [None] * size
+        #: One collective trace record per rank, deposited alongside the
+        #: payload and cross-checked after the first barrier phase.
+        self.trace_slots: list["CollectiveRecord | None"] = [None] * size
+        #: Debug tracing: call sites + rolling per-rank history + wildcard
+        #: receive race flagging.  The cross-check itself is always on.
+        self.trace = trace
+        self.histories: list[deque] = [
+            deque(maxlen=_HISTORY_LIMIT) for _ in range(size)
+        ]
+        self.race_events: list[dict] = []
         self.barrier = threading.Barrier(size)
         self.mailboxes = [_Mailbox() for _ in range(size)]
         # Serializes sub-communicator creation bookkeeping.
@@ -113,6 +225,8 @@ class Communicator:
         self._ctx = context
         self._rank = rank
         self._timeout = timeout
+        #: This rank's collective sequence number (for trace diagnostics).
+        self._seq = 0
 
     # -- introspection ----------------------------------------------------
     @property
@@ -133,8 +247,48 @@ class Communicator:
             raise MPIError(f"send dest {dest} out of range (size {self.size})")
         self._ctx.mailboxes[dest].put(self._rank, tag, _copy_payload(payload))
 
+    def _race_cb(
+        self, source: int, tag: int
+    ) -> "Callable[[list[tuple[int, int]]], None] | None":
+        """Race sink for wildcard receives, active only under tracing."""
+        if not self._ctx.trace:
+            return None
+
+        def record(matches: list[tuple[int, int]]) -> None:
+            event = {
+                "rank": self._rank,
+                "source": source,
+                "tag": tag,
+                "candidates": matches,
+                "site": _call_site(),
+            }
+            with self._ctx.lock:
+                self._ctx.race_events.append(event)
+
+        return record
+
+    @property
+    def race_events(self) -> list[dict]:
+        """Wildcard receives that matched >1 pending send (trace mode only).
+
+        Each event records the receiving rank, the wildcard pattern, the
+        ``(source, tag)`` candidates that raced, and the receive call site.
+        A nonempty list means the program's result can depend on thread
+        scheduling -- the nondeterminism real MPI ``ANY_SOURCE`` races
+        exhibit at scale.
+        """
+        with self._ctx.lock:
+            return list(self._ctx.race_events)
+
+    @property
+    def collective_history(self) -> list["CollectiveRecord"]:
+        """This rank's recent collective records (trace mode only)."""
+        return list(self._ctx.histories[self._rank])
+
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        _, _, payload = self._ctx.mailboxes[self._rank].get(source, tag, self._timeout)
+        _, _, payload = self._ctx.mailboxes[self._rank].get(
+            source, tag, self._timeout, race_cb=self._race_cb(source, tag)
+        )
         return payload
 
     def recv_with_status(
@@ -142,7 +296,7 @@ class Communicator:
     ) -> tuple[Any, int, int]:
         """Receive returning ``(payload, source, tag)``."""
         src, t, payload = self._ctx.mailboxes[self._rank].get(
-            source, tag, self._timeout
+            source, tag, self._timeout, race_cb=self._race_cb(source, tag)
         )
         return payload, src, t
 
@@ -160,31 +314,99 @@ class Communicator:
         except threading.BrokenBarrierError as exc:
             raise MPIError(
                 "collective timed out: likely mismatched collective calls "
-                "across ranks (deadlock)"
+                "across ranks (deadlock)" + self._history_hint()
             ) from exc
 
-    def barrier(self) -> None:
-        self._sync()
+    def _history_hint(self) -> str:
+        if not self._ctx.trace:
+            return ""
+        lines = [_format_record(r) for r in self._ctx.histories[self._rank]]
+        if not lines:
+            return ""
+        joined = "\n  ".join(lines)
+        return f"\nrecent collectives on rank {self._rank}:\n  {joined}"
 
-    def _exchange(self, value: Any) -> list[Any]:
-        """Deposit ``value``, return everyone's deposits.  Two-phase."""
+    def _record(
+        self,
+        kind: str,
+        op: "ReduceOp | None" = None,
+        root: "int | None" = None,
+        value: Any = None,
+    ) -> "CollectiveRecord":
+        """Build this collective's trace record (cheap unless tracing)."""
+        self._seq += 1
+        sig = _payload_signature(value) if kind in _REDUCING_KINDS else None
+        site = _call_site() if self._ctx.trace else None
+        record = (self._seq, kind, op.name if op is not None else None, root, sig, site)
+        if self._ctx.trace:
+            self._ctx.histories[self._rank].append(record)
+        return record
+
+    def _check_trace(self, records: list["CollectiveRecord | None"]) -> None:
+        """Cross-check the just-deposited record row; raise on divergence.
+
+        Every rank sees the identical row and performs the identical check,
+        so a divergence raises on *all* ranks at the same barrier -- an
+        immediate, diagnosable failure where real MPI would deadlock.
+        """
+        mismatch: str | None = None
+        kinds = {r[1] for r in records if r is not None}
+        ops = {r[2] for r in records if r is not None}
+        roots = {r[3] for r in records if r is not None}
+        if None in records or len(kinds) > 1:
+            mismatch = "divergent collective kinds across ranks"
+        elif len(ops) > 1:
+            mismatch = "divergent reduce ops across ranks"
+        elif len(roots) > 1:
+            mismatch = "divergent roots across ranks"
+        elif next(iter(kinds)) in _REDUCING_KINDS:
+            sigs = {r[4] for r in records if r is not None}
+            if len(sigs) > 1:
+                mismatch = "incompatible reduction payloads across ranks"
+        if mismatch is None:
+            return
+        per_rank = "\n".join(
+            f"  rank {rank}: {_format_record(rec)}"
+            for rank, rec in enumerate(records)
+        )
+        hint = (
+            ""
+            if self._ctx.trace
+            else "\n(run with trace_collectives=True for call sites and history)"
+        )
+        raise CollectiveMismatchError(
+            f"collective trace divergence: {mismatch}\n{per_rank}"
+            f"{self._history_hint()}{hint}"
+        )
+
+    def barrier(self) -> None:
+        self._exchange(None, self._record("barrier"))
+
+    def _exchange(self, value: Any, record: "CollectiveRecord") -> list[Any]:
+        """Deposit ``value`` + trace record, cross-check the records once all
+        ranks arrive, and return everyone's deposits.  Two-phase."""
         self._ctx.slots[self._rank] = value
+        self._ctx.trace_slots[self._rank] = record
         self._sync()
+        self._check_trace(list(self._ctx.trace_slots))
         values = list(self._ctx.slots)
         self._sync()
         return values
 
     def allgather(self, value: Any) -> list[Any]:
-        return [_copy_payload(v) for v in self._exchange(value)]
+        values = self._exchange(value, self._record("allgather"))
+        return [_copy_payload(v) for v in values]
 
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
-        values = self._exchange(value)
+        values = self._exchange(value, self._record("gather", root=root))
         if self._rank == root:
             return [_copy_payload(v) for v in values]
         return None
 
     def bcast(self, value: Any, root: int = 0) -> Any:
-        values = self._exchange(value if self._rank == root else None)
+        values = self._exchange(
+            value if self._rank == root else None, self._record("bcast", root=root)
+        )
         return _copy_payload(values[root])
 
     def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
@@ -193,24 +415,31 @@ class Communicator:
                 raise MPIError(
                     "scatter at root requires a list with one entry per rank"
                 )
-        deposited = self._exchange(values if self._rank == root else None)
+        deposited = self._exchange(
+            values if self._rank == root else None,
+            self._record("scatter", root=root),
+        )
         return _copy_payload(deposited[root][self._rank])
 
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
-        values = self._exchange(value)
+        values = self._exchange(
+            value, self._record("reduce", op=op, root=root, value=value)
+        )
         if self._rank == root:
             return op.reduce([_copy_payload(v) for v in values])
         return None
 
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
-        values = self._exchange(value)
+        values = self._exchange(
+            value, self._record("allreduce", op=op, value=value)
+        )
         # Every rank folds in identical rank order => identical results.
         return op.reduce([_copy_payload(v) for v in values])
 
     def alltoall(self, values: list[Any]) -> list[Any]:
         if len(values) != self.size:
             raise MPIError("alltoall requires one entry per rank")
-        deposited = self._exchange(values)
+        deposited = self._exchange(values, self._record("alltoall"))
         return [_copy_payload(deposited[src][self._rank]) for src in range(self.size)]
 
     def allreduce_minmax(self, value: float) -> tuple[float, float]:
@@ -221,12 +450,16 @@ class Communicator:
         that a single slot exchange while reporting both, and the perf model
         still charges two reductions.
         """
-        values = self._exchange(value)
+        values = self._exchange(
+            value, self._record("allreduce_minmax", value=value)
+        )
         return MIN.reduce(list(values)), MAX.reduce(list(values))
 
     def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix reduction; rank 0 receives ``None``."""
-        values = self._exchange(value)
+        values = self._exchange(
+            value, self._record("exscan", op=op, value=value)
+        )
         if self._rank == 0:
             return None
         return op.reduce([_copy_payload(v) for v in values[: self._rank]])
@@ -238,7 +471,7 @@ class Communicator:
         ``color < 0`` (MPI_UNDEFINED) yields ``None`` for that rank.
         """
         key = self._rank if key is None else key
-        triples = self._exchange((color, key, self._rank))
+        triples = self._exchange((color, key, self._rank), self._record("split"))
         groups: dict[int, list[tuple[int, int]]] = {}
         for c, k, r in triples:
             if c >= 0:
@@ -248,7 +481,7 @@ class Communicator:
         if color >= 0:
             leader = min(r for _, r in my_group)
             if self._rank == leader:
-                ctx = _Context(len(my_group))
+                ctx = _Context(len(my_group), trace=self._ctx.trace)
                 with self._ctx.lock:
                     self._ctx.split_results[leader] = ctx
         self._sync()

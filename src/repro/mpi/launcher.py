@@ -36,6 +36,7 @@ def run_spmd(
     *args: Any,
     timeout: float = DEFAULT_TIMEOUT,
     rank_args: Sequence[tuple] | None = None,
+    trace_collectives: bool = False,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``program(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -51,6 +52,12 @@ def run_spmd(
     rank_args:
         Optional per-rank extra positional arguments (length ``nranks``);
         appended after ``args``.
+    trace_collectives:
+        Debug mode for the collective-trace race detector: records call
+        sites and a per-rank rolling history for divergence diagnostics,
+        and flags ``ANY_SOURCE``/``ANY_TAG`` receives that raced against
+        multiple matching sends (``comm.race_events``).  The divergence
+        cross-check itself is always on.
 
     Returns
     -------
@@ -61,7 +68,7 @@ def run_spmd(
     if rank_args is not None and len(rank_args) != nranks:
         raise ValueError("rank_args must have one tuple per rank")
 
-    ctx = _Context(nranks)
+    ctx = _Context(nranks, trace=trace_collectives)
     results: list[Any] = [None] * nranks
     failures: dict[int, BaseException] = {}
     tracebacks: dict[int, str] = {}

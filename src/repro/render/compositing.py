@@ -229,8 +229,10 @@ def binary_swap(
                 img = RenderedImage(r, a, d)
                 partial = composite_over_into(partial, img, out=img)
     if rank >= active:
-        # Folded ranks still participate in the final gather collective.
-        comm.gather(None, root=root)
+        # Folded ranks still participate in the final gather collective --
+        # every rank reaches this gather (active ranks call it after the
+        # exchange rounds below), so the branch is not divergent.
+        comm.gather(None, root=root)  # lint: allow(collective-in-rank-branch)
         return None
 
     # log2(active) rounds of half exchanges, pairing ADJACENT ranks first

@@ -1,0 +1,27 @@
+"""In situ sanitizer suite: debug-mode contract checkers.
+
+Three runtime checkers protect the correctness assumptions behind the
+paper's performance claims:
+
+- :class:`GuardedDataAdaptor` (this package) -- zero-copy write/retention
+  guard, enabled via ``Bridge(..., sanitize=True)``;
+- the collective-trace race detector in :mod:`repro.mpi.communicator`
+  (always-on divergence cross-check; call sites/history/wildcard-receive
+  race flagging via ``run_spmd(..., trace_collectives=True)``);
+- the static repo-contract linter in :mod:`repro.lint`
+  (``python -m repro.lint src/``).
+"""
+
+from repro.sanitize.guard import (
+    GuardedDataAdaptor,
+    RetentionViolation,
+    SanitizerError,
+    WriteViolation,
+)
+
+__all__ = [
+    "GuardedDataAdaptor",
+    "SanitizerError",
+    "WriteViolation",
+    "RetentionViolation",
+]

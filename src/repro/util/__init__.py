@@ -6,7 +6,7 @@ memory high-water mark summed over ranks (Figs 4, 7).
 """
 
 from repro.util.timers import Timer, TimerRegistry, timed
-from repro.util.memory import MemoryTracker, sum_high_water
+from repro.util.memory import MemoryAccountingError, MemoryTracker, sum_high_water
 from repro.util.decomp import (
     block_decompose_1d,
     factor_ranks,
@@ -19,6 +19,7 @@ __all__ = [
     "Timer",
     "TimerRegistry",
     "timed",
+    "MemoryAccountingError",
     "MemoryTracker",
     "sum_high_water",
     "block_decompose_1d",

@@ -18,6 +18,16 @@ from typing import Iterable
 
 import numpy as np
 
+#: Per-label events kept for diagnostics; older events are dropped (the
+#: count of dropped events is preserved so totals stay auditable).
+HISTORY_LIMIT = 32
+
+
+class MemoryAccountingError(RuntimeError):
+    """An allocate/free imbalance: freeing more than is live, globally or
+    under one label.  Carries the label's allocate/free history so
+    double-frees are diagnosable from the message alone."""
+
 
 class MemoryTracker:
     """Tracks current and peak tracked bytes for one rank.
@@ -34,6 +44,30 @@ class MemoryTracker:
         self.peak = int(baseline_bytes)
         self.static = int(baseline_bytes)
         self._named: dict[str, int] = {}
+        self._history: dict[str, list[tuple[str, int]]] = {}
+        self._history_dropped: dict[str, int] = {}
+
+    def _record(self, label: str, event: str, nbytes: int) -> None:
+        events = self._history.setdefault(label, [])
+        events.append((event, nbytes))
+        if len(events) > HISTORY_LIMIT:
+            del events[0]
+            self._history_dropped[label] = self._history_dropped.get(label, 0) + 1
+
+    def history(self, label: str) -> list[tuple[str, int]]:
+        """The label's recorded ``(event, nbytes)`` sequence (most recent
+        ``HISTORY_LIMIT`` events)."""
+        return list(self._history.get(label, []))
+
+    def _format_history(self, label: str) -> str:
+        events = self._history.get(label)
+        if not events:
+            return f"  (no recorded events for label {label!r})"
+        lines = [f"  {event:>9} {nbytes:>12d} B" for event, nbytes in events]
+        dropped = self._history_dropped.get(label, 0)
+        if dropped:
+            lines.insert(0, f"  ... {dropped} earlier event(s) dropped ...")
+        return "\n".join(lines)
 
     def allocate(self, nbytes: int, label: str = "") -> None:
         if nbytes < 0:
@@ -41,22 +75,41 @@ class MemoryTracker:
         self.current += int(nbytes)
         if label:
             self._named[label] = self._named.get(label, 0) + int(nbytes)
+            self._record(label, "allocate", int(nbytes))
         if self.current > self.peak:
             self.peak = self.current
 
     def free(self, nbytes: int, label: str = "") -> None:
         if nbytes < 0:
             raise ValueError("free size must be non-negative")
-        self.current -= int(nbytes)
+        nbytes = int(nbytes)
+        if self.current - nbytes < 0:
+            raise MemoryAccountingError(
+                f"free({nbytes}, label={label!r}) would drive tracked bytes "
+                f"below zero (current={self.current}): double free?\n"
+                f"history for {label!r}:\n{self._format_history(label)}"
+            )
+        if label and self._named.get(label, 0) - nbytes < 0:
+            raise MemoryAccountingError(
+                f"free({nbytes}, label={label!r}) exceeds the label's live "
+                f"balance ({self._named.get(label, 0)} B): double free or "
+                f"mislabeled allocation?\n"
+                f"history for {label!r}:\n{self._format_history(label)}"
+            )
+        self.current -= nbytes
         if label:
-            self._named[label] = self._named.get(label, 0) - int(nbytes)
-        if self.current < 0:
-            raise RuntimeError("memory tracker went negative: double free?")
+            self._named[label] = self._named.get(label, 0) - nbytes
+            self._record(label, "free", nbytes)
 
     def add_static(self, nbytes: int, label: str = "") -> None:
         """Register a permanent footprint (library code, LUTs, editions)."""
         self.static += int(nbytes)
-        self.allocate(nbytes, label=label)
+        self.current += int(nbytes)
+        if label:
+            self._named[label] = self._named.get(label, 0) + int(nbytes)
+            self._record(label, "static", int(nbytes))
+        if self.current > self.peak:
+            self.peak = self.current
 
     def track_array(self, array: np.ndarray, label: str = "") -> np.ndarray:
         """Register a numpy array's buffer if this rank owns it.

@@ -64,6 +64,13 @@ class Timer:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop` -- an unbalanced
+        start/stop pair leaves this set, which the sanitizer flags at
+        bridge finalize."""
+        return self._start is not None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Timer({self.name!r}, total={self.total:.6f}s, "
@@ -112,6 +119,10 @@ class TimerRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._timers)
+
+    def active(self) -> list[str]:
+        """Names of timers currently running (started but not stopped)."""
+        return sorted(n for n, t in self._timers.items() if t.running)
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """Serializable snapshot, used to ship timings across ranks."""

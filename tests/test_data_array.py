@@ -141,3 +141,80 @@ def test_layout_roundtrip_property(n, ncomp, seed):
     assert back.num_components == ncomp
     for i in range(ncomp):
         assert np.array_equal(back.component(i), comps[i])
+
+
+class TestCopyIntrospection:
+    """Mechanical verification of the no-copy / copy-on-conversion claims."""
+
+    def test_from_numpy_is_zero_copy(self):
+        arr = DataArray.from_numpy("s", np.zeros((4, 5)))
+        assert arr.is_zero_copy
+        assert arr.nbytes_copied == 0
+
+    def test_from_soa_is_zero_copy(self):
+        comps = [np.arange(10.0) for _ in range(3)]
+        arr = DataArray.from_soa("v", comps)
+        assert arr.is_zero_copy
+        assert arr.nbytes_copied == 0
+
+    def test_from_aos_is_zero_copy(self):
+        arr = DataArray.from_aos("uv", np.arange(20.0).reshape(10, 2))
+        assert arr.is_zero_copy
+        assert arr.nbytes_copied == 0
+
+    def test_non_contiguous_from_numpy_copies_and_reports(self):
+        backing = np.zeros((10, 10))
+        arr = DataArray.from_numpy("s", backing[::2, ::2])
+        assert not arr.is_zero_copy
+        assert arr.nbytes_copied == arr.nbytes
+
+    def test_as_soa_never_copies(self):
+        arr = DataArray.from_aos("uv", np.arange(20.0).reshape(10, 2))
+        before = arr.nbytes_copied
+        comps = arr.as_soa()
+        assert arr.nbytes_copied == before
+        assert np.shares_memory(comps[0], arr.component(0))
+
+    def test_as_aos_on_soa_counts_conversion_copy(self):
+        comps = [np.arange(10.0) for _ in range(3)]
+        arr = DataArray.from_soa("v", comps)
+        inter = arr.as_aos()
+        assert not np.shares_memory(inter, comps[0])
+        assert arr.nbytes_copied == inter.nbytes
+        assert not arr.is_zero_copy or arr.nbytes_copied > 0
+
+    def test_as_aos_on_aos_is_free(self):
+        arr = DataArray.from_aos("uv", np.arange(20.0).reshape(10, 2))
+        arr.as_aos()
+        assert arr.nbytes_copied == 0
+
+    def test_deep_copy_is_not_zero_copy(self):
+        cp = DataArray.from_numpy("s", np.zeros(10)).deep_copy()
+        assert not cp.is_zero_copy
+        assert cp.nbytes_copied == cp.nbytes
+
+
+class TestReadonlyViewAndFingerprint:
+    def test_readonly_view_blocks_writes_shares_memory(self):
+        backing = np.zeros(10)
+        arr = DataArray.from_numpy("s", backing)
+        view = arr.readonly_view()
+        assert view.guarded and not view.writeable
+        assert np.shares_memory(view.component(0), backing)
+        with pytest.raises(ValueError):
+            view.component(0)[0] = 1.0
+        assert arr.writeable  # the original stays writable
+
+    def test_fingerprint_tracks_content(self):
+        backing = np.arange(10.0)
+        arr = DataArray.from_numpy("s", backing)
+        fp = arr.fingerprint()
+        assert arr.fingerprint() == fp
+        backing[3] = -1.0
+        assert arr.fingerprint() != fp
+
+    def test_fingerprint_distinguishes_dtype_and_shape(self):
+        a = DataArray.from_numpy("s", np.zeros(4, dtype=np.float64))
+        b = DataArray.from_numpy("s", np.zeros(4, dtype=np.float32))
+        c = DataArray.from_numpy("s", np.zeros(8, dtype=np.float64))
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3

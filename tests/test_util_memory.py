@@ -103,3 +103,60 @@ def test_reset_peak():
 def test_array_nbytes_matches_numpy():
     assert array_nbytes((10, 20), np.float64) == np.zeros((10, 20)).nbytes
     assert array_nbytes((7,), np.uint8) == 7
+
+
+class TestAccountingGuards:
+    def test_free_below_zero_raises_before_mutating(self):
+        from repro.util import MemoryAccountingError
+
+        m = MemoryTracker()
+        m.allocate(100, label="grid")
+        with pytest.raises(MemoryAccountingError):
+            m.free(200, label="grid")
+        # The failed free must not have corrupted the counters.
+        assert m.current == 100
+        assert m.named("grid") == 100
+
+    def test_per_label_negative_balance_raises(self):
+        """Total stays positive but the label itself would go negative."""
+        from repro.util import MemoryAccountingError
+
+        m = MemoryTracker()
+        m.allocate(100, label="a")
+        m.allocate(100, label="b")
+        with pytest.raises(MemoryAccountingError):
+            m.free(150, label="a")
+        assert m.named("a") == 100 and m.named("b") == 100
+
+    def test_error_message_includes_label_history(self):
+        from repro.util import MemoryAccountingError
+
+        m = MemoryTracker()
+        m.allocate(64, label="hist::bins")
+        m.free(64, label="hist::bins")
+        with pytest.raises(MemoryAccountingError) as excinfo:
+            m.free(64, label="hist::bins")
+        msg = str(excinfo.value)
+        assert "hist::bins" in msg
+        assert "allocate" in msg and "free" in msg
+        assert "64" in msg
+
+    def test_accounting_error_is_runtime_error(self):
+        from repro.util import MemoryAccountingError
+
+        assert issubclass(MemoryAccountingError, RuntimeError)
+
+    def test_history_is_bounded(self):
+        m = MemoryTracker()
+        for _ in range(100):
+            m.allocate(8, label="loop")
+            m.free(8, label="loop")
+        assert len(m.history("loop")) <= 32
+
+    def test_unknown_label_free_raises(self):
+        from repro.util import MemoryAccountingError
+
+        m = MemoryTracker()
+        m.allocate(100)  # unlabeled
+        with pytest.raises(MemoryAccountingError):
+            m.free(10, label="never-allocated")
