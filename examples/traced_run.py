@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Traced run: structured spans/counters, Perfetto export, model overlay.
+
+The observability workflow from the paper's measurement methodology
+(Sec. 4.1.1), end to end:
+
+1. run the oscillator miniapp on a 4-rank simulated MPI world with a
+   :class:`~repro.trace.TraceSession` attached -- every ``timed()`` phase
+   becomes a per-rank span, every collective a byte counter;
+2. export the measured timeline as Chrome trace JSON (drop the file on
+   https://ui.perfetto.dev to browse it);
+3. render the one-time / per-timestep phase breakdown, mean and max across
+   ranks -- the paper's Fig. 5/6 table shape;
+4. emit the *modeled* timeline for the same configuration from the
+   calibrated performance model and diff it against the measurement (the
+   SIM-SITU calibration loop).
+
+Usage::
+
+    python examples/traced_run.py [output_dir]
+"""
+
+import os
+import sys
+
+from repro.analysis import HistogramAnalysis
+from repro.core import Bridge
+from repro.miniapp import OscillatorSimulation
+from repro.miniapp.oscillator import default_oscillators
+from repro.mpi import run_spmd
+from repro.perf.miniapp_model import MiniappConfig, MiniappModel
+from repro.trace import (
+    TraceSession,
+    diff_reports,
+    render_report,
+    report_from_session,
+    session_from_breakdown,
+    validate_chrome_trace,
+)
+
+OUTPUT_DIR = sys.argv[1] if len(sys.argv) > 1 else "traced_run_output"
+RANKS = 4
+DIMS = (32, 32, 32)
+STEPS = 8
+
+
+def program(comm):
+    sim = OscillatorSimulation(comm, DIMS, default_oscillators(), dt=0.05)
+    bridge = Bridge(comm, sim.make_data_adaptor())
+    bridge.add_analysis(HistogramAnalysis(bins=24))
+    bridge.initialize()
+    sim.run(STEPS, bridge)
+    bridge.finalize()
+    return sim.timers.as_dict()
+
+
+def main():
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+
+    # 1. measured: the hooks attach themselves through the communicator.
+    measured = TraceSession(name="measured")
+    run_spmd(RANKS, program, trace=measured)
+
+    # 2. export for Perfetto, and prove the file is schema-clean.
+    trace_path = os.path.join(OUTPUT_DIR, "measured.json")
+    measured.export(trace_path)
+    problems = validate_chrome_trace(measured.to_chrome())
+    assert not problems, problems
+    print(f"wrote {trace_path} (load it at https://ui.perfetto.dev)\n")
+
+    # 3. the Sec. 4.1.1 phase breakdown.
+    report = report_from_session(measured)
+    print(render_report(report))
+
+    # 4. modeled spans in the same schema, diffed per phase.  The model is
+    #    calibrated for Cori scales; a tiny laptop-size run will not match
+    #    it -- which is exactly what the ratio column is for.
+    config = MiniappConfig(cores=RANKS, points_per_core=DIMS[0] * DIMS[1] * DIMS[2] // RANKS)
+    breakdown = MiniappModel(config).histogram()
+    modeled = session_from_breakdown(breakdown, steps=STEPS, ranks=RANKS)
+    modeled_path = os.path.join(OUTPUT_DIR, "modeled.json")
+    modeled.export(modeled_path)
+    print(f"\nwrote {modeled_path}")
+    print()
+    print(diff_reports(report, report_from_session(modeled)))
+
+
+if __name__ == "__main__":
+    main()

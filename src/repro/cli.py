@@ -7,6 +7,8 @@
     python -m repro run all           # everything
     python -m repro run table1 fig17  # a subset
     python -m repro lint src/         # repo-contract linter
+    python -m repro report trace.json # Sec. 4.1.1 phase breakdown of a trace
+    python -m repro report measured.json --against modeled.json   # model diff
 """
 
 from __future__ import annotations
@@ -44,7 +46,69 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"
     )
+    report = sub.add_parser(
+        "report",
+        help=(
+            "render the Sec. 4.1.1 phase breakdown (one-time vs per-timestep, "
+            "mean/max across ranks) of a Chrome trace JSON file"
+        ),
+    )
+    report.add_argument("trace", help="Chrome trace JSON (TraceSession.export)")
+    report.add_argument(
+        "--against",
+        metavar="TRACE",
+        help=(
+            "second trace to diff against (e.g. a modeled timeline from "
+            "repro.trace.session_from_breakdown); prints per-phase "
+            "measured/modeled ratios"
+        ),
+    )
+    report.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-validate the trace(s) and fail on any violation",
+    )
     return parser
+
+
+def _report_main(args) -> int:
+    from repro.trace import (
+        diff_reports,
+        load_chrome_trace,
+        render_report,
+        report_from_chrome,
+        validate_chrome_trace,
+    )
+
+    try:
+        doc = load_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        errors = validate_chrome_trace(doc)
+        if errors:
+            for e in errors:
+                print(f"trace schema violation: {e}", file=sys.stderr)
+            return 1
+    measured = report_from_chrome(doc, name=args.trace)
+    print(render_report(measured))
+    if args.against:
+        try:
+            other_doc = load_chrome_trace(args.against)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.against!r}: {exc}", file=sys.stderr)
+            return 2
+        if args.validate:
+            errors = validate_chrome_trace(other_doc)
+            if errors:
+                for e in errors:
+                    print(f"trace schema violation: {e}", file=sys.stderr)
+                return 1
+        other = report_from_chrome(other_doc, name=args.against)
+        print()
+        print(diff_reports(measured, other))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,6 +119,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(
             (["--list-rules"] if args.list_rules else []) + list(args.paths)
         )
+    if args.command == "report":
+        return _report_main(args)
     catalog = available_experiments()
     if args.command == "list":
         width = max(len(n) for n in catalog)

@@ -28,6 +28,7 @@ from repro.util.timers import TimerRegistry, timed
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi import Communicator
     from repro.sanitize import GuardedDataAdaptor
+    from repro.trace import TraceRecorder
     from repro.util import MemoryTracker
 
 
@@ -41,12 +42,25 @@ class Bridge:
         timers: TimerRegistry | None = None,
         memory: "MemoryTracker | None" = None,
         sanitize: bool = False,
+        trace: "TraceRecorder | None" = None,
     ) -> None:
         self.comm = comm
         self.data_adaptor = data_adaptor
         self.timers = timers if timers is not None else TimerRegistry()
         self.memory = memory
         self.sanitize = bool(sanitize)
+        # Resolve the structured-trace recorder: an explicit argument wins;
+        # otherwise inherit whatever run_spmd(trace=...) attached to the
+        # communicator.  Attaching to the timer registry makes every
+        # timed() site in the bridge, analyses, infrastructures, and
+        # miniapp emit spans with no further wiring.
+        if trace is None:
+            trace = getattr(comm, "trace_recorder", None)
+        self.trace: "TraceRecorder | None" = trace
+        if trace is not None:
+            self.timers.attach_trace(trace)
+            if memory is not None:
+                memory.attach_trace(trace)
         self._guard: "GuardedDataAdaptor | None" = None
         if self.sanitize:
             # Imported lazily so the sanitizer costs nothing when disabled.
@@ -84,6 +98,9 @@ class Bridge:
             raise RuntimeError("bridge.execute() before initialize()")
         if self._finalized:
             raise RuntimeError("bridge.execute() after finalize()")
+        rec = self.trace
+        if rec is not None:
+            rec.set_step(step)
         self.data_adaptor.set_data_time(time, step)
         if self._guard is not None:
             return self._execute_sanitized(time, step)

@@ -120,6 +120,15 @@ class LazyStructuredDataAdaptor(DataAdaptor):
         arr = DataArray.from_numpy(name, backing)
         self._mapped[key] = arr
         self.array_mappings += 1
+        rec = getattr(self.comm, "trace_recorder", None)
+        if rec is not None:
+            # The Sec. 3.2 zero-copy claim, as counters: bytes mapped by
+            # reference vs bytes the adaptor had to copy (non-contiguous
+            # or dtype-converted providers).
+            if arr.is_zero_copy:
+                rec.count("sensei::bytes_zero_copy", arr.nbytes)
+            else:
+                rec.count("sensei::bytes_copied", arr.nbytes_copied)
         return arr
 
     def get_number_of_arrays(self, association: Association) -> int:

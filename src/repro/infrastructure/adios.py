@@ -137,6 +137,9 @@ class AdiosFlexPathWriter(AnalysisAdaptor):
             self.world.recv(source=self.endpoint_world_rank, tag=_TAG_READY)
             # FlexPath is not zero-copy: stage an explicit buffer copy.
             staged = np.array(arr.values.reshape(mesh.dims), copy=True)
+            rec = self.timers.trace if self.timers is not None else None
+            if rec is not None:
+                rec.count("adios::bytes_copied", staged.nbytes)
             if self.memory is not None:
                 self.memory.allocate(staged.nbytes, label="adios::staging")
             self.world.send(staged, dest=self.endpoint_world_rank, tag=_TAG_DATA)
@@ -237,6 +240,9 @@ def run_endpoint(
     side of the staging transport too.
     """
     timers = timers if timers is not None else TimerRegistry()
+    if timers.trace is None:
+        # Endpoint ranks trace too when the job runs under a TraceSession.
+        timers.attach_trace(getattr(world, "trace_recorder", None))
     my_writers = writers_for_endpoint(endpoint_rank, n_writers, n_endpoints)
     with timed(timers, "endpoint::initialize"):
         analysis.set_instrumentation(timers, analysis.memory)

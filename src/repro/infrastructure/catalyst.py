@@ -234,6 +234,11 @@ class CatalystAdaptor(AnalysisAdaptor):
                     final.rgb, self.compression_level, workers=self.png_workers
                 )
             self.last_png = blob
+            rec = self.timers.trace if self.timers is not None else None
+            if rec is not None:
+                rec.count("catalyst::png_bytes", len(blob))
+                if self._pool is not None:
+                    rec.gauge("catalyst::framebuffer_pool::hits", self._pool.hits)
             if self._pool is not None:
                 self._pool.release(final)
             if self.output_dir:

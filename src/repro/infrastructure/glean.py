@@ -131,6 +131,11 @@ class GleanAdaptor(AnalysisAdaptor):
                         self._comm.recv(tag=2000 + step % 100)
                     )
                 blocks.sort(key=lambda b: b[0])
+                rec = self.timers.trace if self.timers is not None else None
+                if rec is not None:
+                    rec.count(
+                        "glean::bytes_staged", sum(b[2].nbytes for b in blocks)
+                    )
                 if self.memory is not None:
                     # The aggregator holds every group member's block until
                     # the file write drains; charge the staging footprint

@@ -220,6 +220,9 @@ class LibsimAdaptor(AnalysisAdaptor):
                 with timed(self.timers, "libsim::save"):
                     blob = encode_png(final.rgb)
                 self.last_png = blob
+                rec = self.timers.trace if self.timers is not None else None
+                if rec is not None:
+                    rec.count("libsim::png_bytes", len(blob))
                 if self.output_dir:
                     path = os.path.join(self.output_dir, f"libsim_{step:06d}.png")
                     with open(path, "wb") as fh:

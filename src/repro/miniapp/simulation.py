@@ -85,6 +85,10 @@ class OscillatorSimulation:
         self.memory = memory
         self.time = 0.0
         self.step = 0
+        # Inherit the rank's structured-trace recorder (run_spmd(trace=...))
+        # unless the caller already wired one into the registry.
+        if self.timers.trace is None:
+            self.timers.attach_trace(getattr(comm, "trace_recorder", None))
 
         with timed(self.timers, "simulation::initialize"):
             self.extent, self.proc_grid, self.proc_coord = regular_decompose_3d(
@@ -156,6 +160,11 @@ class OscillatorSimulation:
         opt-in kernel cache the refill is a single matvec into the field's
         flat view -- same values to machine precision, no temporaries.
         """
+        rec = self.timers.trace
+        if rec is not None:
+            # Tag the span about to open (and everything nested under it)
+            # with the step it computes, before the timer hook fires.
+            rec.set_step(self.step + 1)
         with timed(self.timers, "simulation::advance"):
             self.time += self.dt
             self.step += 1

@@ -31,7 +31,7 @@ from repro.mpi.communicator import (
     Communicator,
     MPIError,
 )
-from repro.mpi.launcher import SPMDError, run_spmd
+from repro.mpi.launcher import SPMDError, aggregate_timer_snapshots, run_spmd
 from repro.mpi.halo import HaloExchanger
 
 __all__ = [
@@ -48,4 +48,5 @@ __all__ = [
     "PROD",
     "run_spmd",
     "SPMDError",
+    "aggregate_timer_snapshots",
 ]

@@ -88,6 +88,29 @@ def _payload_signature(value: Any) -> tuple:
     return (type(value).__name__,)
 
 
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort wire size of a payload, for trace byte counters.
+
+    Arrays and buffers count exactly; scalars count as 8 bytes; containers
+    sum their members.  Only called when a trace recorder is attached.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (bool, int, float, complex, np.number)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(v) for v in payload.values())
+    return 0
+
+
 def _format_signature(sig: "tuple | None") -> str:
     if sig is None:
         return ""
@@ -227,6 +250,25 @@ class Communicator:
         self._timeout = timeout
         #: This rank's collective sequence number (for trace diagnostics).
         self._seq = 0
+        #: Structured-trace recorder (see :mod:`repro.trace`); None keeps
+        #: every hook to a single pointer comparison.
+        self._trace_recorder = None
+
+    # -- structured tracing ------------------------------------------------
+    def attach_trace(self, recorder) -> None:
+        """Attach a :class:`repro.trace.TraceRecorder` for byte counters.
+
+        Every collective then samples ``mpi::<kind>::bytes`` (this rank's
+        contributed payload bytes, accumulated) and point-to-point sends
+        sample ``mpi::send::bytes``.  Sub-communicators created by
+        :meth:`split`/:meth:`dup` inherit the recorder.
+        """
+        self._trace_recorder = recorder
+
+    @property
+    def trace_recorder(self):
+        """The attached structured-trace recorder, or None."""
+        return self._trace_recorder
 
     # -- introspection ----------------------------------------------------
     @property
@@ -245,6 +287,9 @@ class Communicator:
         """Eager, non-blocking-complete send (buffered semantics)."""
         if not 0 <= dest < self.size:
             raise MPIError(f"send dest {dest} out of range (size {self.size})")
+        rec = self._trace_recorder
+        if rec is not None:
+            rec.count("mpi::send::bytes", _payload_nbytes(payload))
         self._ctx.mailboxes[dest].put(self._rank, tag, _copy_payload(payload))
 
     def _race_cb(
@@ -385,6 +430,9 @@ class Communicator:
     def _exchange(self, value: Any, record: "CollectiveRecord") -> list[Any]:
         """Deposit ``value`` + trace record, cross-check the records once all
         ranks arrive, and return everyone's deposits.  Two-phase."""
+        rec = self._trace_recorder
+        if rec is not None:
+            rec.count(f"mpi::{record[1]}::bytes", _payload_nbytes(value))
         self._ctx.slots[self._rank] = value
         self._ctx.trace_slots[self._rank] = record
         self._sync()
@@ -492,6 +540,7 @@ class Communicator:
                 ctx = self._ctx.split_results[leader]
             new_rank = [r for _, r in my_group].index(self._rank)
             result = Communicator(ctx, new_rank, timeout=self._timeout)
+            result._trace_recorder = self._trace_recorder
         self._sync()
         # Rank 0 clears before it can enter any subsequent collective's
         # barrier, so the cleanup cannot race a later split's publish.

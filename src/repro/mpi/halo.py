@@ -54,10 +54,23 @@ class HaloExchanger:
             global_dims, comm.size, comm.rank
         )
         for axis in range(3):
-            if self.proc_grid[axis] > 1 and self.extent.shape[axis] < depth:
+            # A periodic axis with a single block still exchanges: the rank
+            # is its own neighbor through _neighbor()'s wrap, and the same
+            # shape >= depth bound applies -- with fewer owned planes than
+            # ghost depth, own_lo/own_hi extend into ghost planes and the
+            # self-wrap fills ghosts with stale garbage instead of field
+            # values.  Only a non-periodic undecomposed axis (pure clamp,
+            # no exchange) is exempt.
+            exchanges = self.proc_grid[axis] > 1 or periodic[axis]
+            if exchanges and self.extent.shape[axis] < depth:
                 raise ValueError(
                     f"axis {axis}: block has {self.extent.shape[axis]} planes, "
                     f"need >= depth ({depth}) for the exchange"
+                    + (
+                        " (periodic axis self-wraps even with a single block)"
+                        if self.proc_grid[axis] == 1
+                        else ""
+                    )
                 )
 
     # -- geometry ----------------------------------------------------------

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import threading
 import traceback
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.mpi.communicator import DEFAULT_TIMEOUT, Communicator, _Context
+from repro.util.timers import TimerRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace import TraceSession
 
 
 class SPMDError(RuntimeError):
@@ -37,6 +41,7 @@ def run_spmd(
     timeout: float = DEFAULT_TIMEOUT,
     rank_args: Sequence[tuple] | None = None,
     trace_collectives: bool = False,
+    trace: "TraceSession | None" = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``program(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -58,6 +63,14 @@ def run_spmd(
         and flags ``ANY_SOURCE``/``ANY_TAG`` receives that raced against
         multiple matching sends (``comm.race_events``).  The divergence
         cross-check itself is always on.
+    trace:
+        Optional :class:`repro.trace.TraceSession`.  Each rank's
+        communicator gets that rank's :class:`~repro.trace.TraceRecorder`
+        attached before the thread starts, so collective byte counters and
+        any component that resolves ``comm.trace_recorder`` (the
+        :class:`~repro.core.bridge.Bridge`, timers, memory trackers)
+        record into the shared session.  ``None`` (the default) leaves
+        every hook at a single pointer comparison.
 
     Returns
     -------
@@ -73,9 +86,19 @@ def run_spmd(
     failures: dict[int, BaseException] = {}
     tracebacks: dict[int, str] = {}
     lock = threading.Lock()
+    # Recorders are created eagerly, before any thread starts: TraceSession
+    # lazily materializes per-rank recorders, and doing that from inside
+    # racing rank threads would contend on the session dict.
+    recorders = (
+        [trace.recorder(rank) for rank in range(nranks)]
+        if trace is not None
+        else None
+    )
 
     def worker(rank: int) -> None:
         comm = Communicator(ctx, rank, timeout=timeout)
+        if recorders is not None:
+            comm.attach_trace(recorders[rank])
         extra = tuple(rank_args[rank]) if rank_args is not None else ()
         try:
             results[rank] = program(comm, *args, *extra, **kwargs)
@@ -98,3 +121,19 @@ def run_spmd(
     if failures:
         raise SPMDError(failures, tracebacks)
     return results
+
+
+def aggregate_timer_snapshots(snapshots: Sequence[dict]) -> TimerRegistry:
+    """Fold per-rank :meth:`TimerRegistry.as_dict` snapshots into one registry.
+
+    The standard harness pattern: each rank's program returns
+    ``registry.as_dict()`` (snapshots cross the simulated address-space
+    boundary as plain dicts), and the driver aggregates them here.  The
+    merge is lossless -- per-rank ``min`` values and kept ``samples``
+    survive, so both worst/best-case call times and the Fig. 16
+    per-iteration series can be recovered job-wide.
+    """
+    agg = TimerRegistry()
+    for snap in snapshots:
+        agg.merge_snapshot(snap)
+    return agg

@@ -122,7 +122,11 @@ class IOModel:
         self, p: int, total_bytes: float, ranks_per_aggregator: int
     ) -> float:
         """GLEAN-style many-to-few write: fewer files, plus forwarding."""
-        aggregators = max(p // max(ranks_per_aggregator, 1), 1)
+        # Ceiling division: a trailing partial group still needs its own
+        # aggregator (and metadata create) -- flooring undercounts for any
+        # non-divisible layout (e.g. p=100, 64 ranks/aggregator is 2 files,
+        # not 1), which skews the Table 1 GLEAN-path metadata term.
+        aggregators = max(-(-p // max(ranks_per_aggregator, 1)), 1)
         forward = (total_bytes / p) * (ranks_per_aggregator - 1) / self.machine.net_bandwidth
         transfer = total_bytes / self.machine.io_aggregate_bw
         metadata = aggregators * self.machine.io_file_create

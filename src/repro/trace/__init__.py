@@ -1,0 +1,58 @@
+"""Structured run tracing: per-rank phase spans, counters, phase reports.
+
+The observability layer the paper's measurement methodology implies but the
+scalar timers cannot provide: what every rank did, when, serving which
+step, and how many bytes moved -- exportable to Chrome trace JSON
+(Perfetto) and reducible to the Sec. 4.1.1 one-time/per-timestep phase
+breakdown.  Off by default; one ``is not None`` check on the hot path when
+disabled.
+
+Typical use::
+
+    from repro.mpi import run_spmd
+    from repro.trace import TraceSession, report_from_session, render_report
+
+    session = TraceSession()
+    run_spmd(4, program, trace=session)       # hooks attach themselves
+    session.export("trace.json")              # load in ui.perfetto.dev
+    print(render_report(report_from_session(session)))
+"""
+
+from repro.trace.recorder import CounterSample, Span, TraceRecorder, TraceSession
+from repro.trace.chrome import (
+    export_chrome_trace,
+    load_chrome_trace,
+    session_to_chrome,
+    validate_chrome_trace,
+)
+from repro.trace.report import (
+    PhaseReport,
+    PhaseStats,
+    classify_span,
+    diff_reports,
+    render_report,
+    report_from_chrome,
+    report_from_events,
+    report_from_session,
+)
+from repro.trace.modeled import session_from_breakdown
+
+__all__ = [
+    "CounterSample",
+    "Span",
+    "TraceRecorder",
+    "TraceSession",
+    "export_chrome_trace",
+    "load_chrome_trace",
+    "session_to_chrome",
+    "validate_chrome_trace",
+    "PhaseReport",
+    "PhaseStats",
+    "classify_span",
+    "diff_reports",
+    "render_report",
+    "report_from_chrome",
+    "report_from_events",
+    "report_from_session",
+    "session_from_breakdown",
+]

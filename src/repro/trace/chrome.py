@@ -1,0 +1,142 @@
+"""Chrome-trace-event (Perfetto-loadable) JSON export.
+
+The exported document follows the Trace Event Format's JSON object form:
+``{"traceEvents": [...]}``, where every event carries ``ph`` (event type),
+``ts`` (microseconds), ``pid`` and ``tid``.  We map one traced job to one
+process (``pid 0``) and each simulated MPI rank to one thread (``tid`` =
+rank), so loading the file in ``chrome://tracing`` or https://ui.perfetto.dev
+shows the per-rank phase timelines stacked exactly like the paper's Gantt
+mental model of an in situ run.
+
+Event kinds used:
+
+- ``ph: "M"`` metadata -- process/thread names;
+- ``ph: "X"`` complete spans -- one per :class:`~repro.trace.recorder.Span`,
+  with ``dur`` and ``args.step`` / ``args.parent``;
+- ``ph: "C"`` counters -- one per
+  :class:`~repro.trace.recorder.CounterSample`, value under
+  ``args.value``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace.recorder import TraceSession
+
+#: Trace Event Format timestamps are microseconds.
+_US = 1e6
+
+
+def _meta(name: str, tid: int, label: str) -> dict:
+    return {
+        "name": name,
+        "ph": "M",
+        "ts": 0,
+        "pid": 0,
+        "tid": tid,
+        "args": {"name": label},
+    }
+
+
+def session_to_chrome(session: TraceSession) -> dict:
+    """Convert a :class:`TraceSession` to a Chrome trace dict."""
+    events: list[dict] = [_meta("process_name", 0, f"repro [{session.name}]")]
+    for rank in session.ranks:
+        events.append(_meta("thread_name", rank, f"rank {rank}"))
+        rec = session.recorder(rank)
+        # Chrome sorts by ts itself, but emitting spans outermost-first per
+        # begin time keeps the file diffable and the nesting check trivial.
+        for s in sorted(rec.spans, key=lambda s: (s.t0, -s.t1)):
+            args: dict = {}
+            if s.step is not None:
+                args["step"] = s.step
+            if s.parent is not None:
+                args["parent"] = s.parent
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.category,
+                    "ph": "X",
+                    "ts": s.t0 * _US,
+                    "dur": (s.t1 - s.t0) * _US,
+                    "pid": 0,
+                    "tid": rank,
+                    "args": args,
+                }
+            )
+        for c in rec.counters:
+            events.append(
+                {
+                    "name": c.name,
+                    "cat": c.category,
+                    "ph": "C",
+                    "ts": c.ts * _US,
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"value": c.value},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"session": session.name},
+    }
+
+
+def export_chrome_trace(session: TraceSession, path) -> None:
+    """Write ``session`` as Chrome trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(session_to_chrome(session), fh, indent=1)
+        fh.write("\n")
+
+
+def load_chrome_trace(path) -> dict:
+    """Load a Chrome trace JSON document (as exported by this module)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace JSON object")
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema-check a Chrome trace dict; returns a list of problems.
+
+    Checks the invariants this repo's tooling relies on: every event has
+    ``ph``/``ts``/``pid``/``tid``; ``X`` events carry a non-negative
+    ``dur``; and each thread's complete spans are properly nested (no
+    partial overlap), which must hold because recorders are stack-based.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    per_tid: dict[tuple, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i} ({ev.get('name')!r}) missing {key!r}")
+        if ev.get("ph") == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} ({ev.get('name')!r}) bad dur {dur!r}")
+            else:
+                per_tid.setdefault((ev.get("pid"), ev.get("tid")), []).append(
+                    (float(ev["ts"]), float(ev["ts"]) + float(dur), str(ev.get("name")))
+                )
+    # Nesting: within a thread, any two spans either nest or are disjoint.
+    for (pid, tid), spans in per_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[float, float, str]] = []
+        for t0, t1, name in spans:
+            while stack and stack[-1][1] <= t0:
+                stack.pop()
+            if stack and t1 > stack[-1][1]:
+                problems.append(
+                    f"pid {pid} tid {tid}: span {name!r} [{t0}, {t1}] partially "
+                    f"overlaps {stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}]"
+                )
+                continue
+            stack.append((t0, t1, name))
+    return problems

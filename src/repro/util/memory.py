@@ -14,9 +14,12 @@ observable in this reproduction.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace import TraceRecorder
 
 #: Per-label events kept for diagnostics; older events are dropped (the
 #: count of dropped events is preserved so totals stay auditable).
@@ -46,6 +49,18 @@ class MemoryTracker:
         self._named: dict[str, int] = {}
         self._history: dict[str, list[tuple[str, int]]] = {}
         self._history_dropped: dict[str, int] = {}
+        #: Optional structured-trace sink; every balance change then gauges
+        #: ``memory::tracked_bytes``.  None costs one pointer comparison.
+        self.trace: "TraceRecorder | None" = None
+
+    def attach_trace(self, recorder: "TraceRecorder | None") -> None:
+        """Attach (or detach, with None) a structured-trace recorder."""
+        self.trace = recorder
+
+    def _gauge(self) -> None:
+        rec = self.trace
+        if rec is not None:
+            rec.gauge("memory::tracked_bytes", self.current)
 
     def _record(self, label: str, event: str, nbytes: int) -> None:
         events = self._history.setdefault(label, [])
@@ -78,6 +93,7 @@ class MemoryTracker:
             self._record(label, "allocate", int(nbytes))
         if self.current > self.peak:
             self.peak = self.current
+        self._gauge()
 
     def free(self, nbytes: int, label: str = "") -> None:
         if nbytes < 0:
@@ -100,6 +116,7 @@ class MemoryTracker:
         if label:
             self._named[label] = self._named.get(label, 0) - nbytes
             self._record(label, "free", nbytes)
+        self._gauge()
 
     def add_static(self, nbytes: int, label: str = "") -> None:
         """Register a permanent footprint (library code, LUTs, editions)."""
@@ -110,6 +127,7 @@ class MemoryTracker:
             self._record(label, "static", int(nbytes))
         if self.current > self.peak:
             self.peak = self.current
+        self._gauge()
 
     def track_array(self, array: np.ndarray, label: str = "") -> np.ndarray:
         """Register a numpy array's buffer if this rank owns it.

@@ -16,6 +16,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace import TraceRecorder
 
 
 @dataclass
@@ -86,9 +90,19 @@ class TimerRegistry:
     ``"avf_insitu::analyze"``.
     """
 
-    def __init__(self, keep_samples: bool = False) -> None:
+    def __init__(
+        self, keep_samples: bool = False, trace: "TraceRecorder | None" = None
+    ) -> None:
         self._timers: dict[str, Timer] = {}
         self._keep_samples = keep_samples
+        #: Optional structured-trace sink (see :mod:`repro.trace`).  When
+        #: attached, every timed block also records a span; when None the
+        #: hot path pays exactly one pointer comparison.
+        self.trace: "TraceRecorder | None" = trace
+
+    def attach_trace(self, recorder: "TraceRecorder | None") -> None:
+        """Attach (or detach, with None) a structured-trace recorder."""
+        self.trace = recorder
 
     def timer(self, name: str) -> Timer:
         t = self._timers.get(name)
@@ -100,14 +114,23 @@ class TimerRegistry:
     @contextmanager
     def time(self, name: str):
         t = self.timer(name)
+        rec = self.trace
+        if rec is not None:
+            rec.begin(name)
         t.start()
         try:
             yield t
         finally:
             t.stop()
+            if rec is not None:
+                rec.end()
 
     def add(self, name: str, elapsed: float) -> None:
         self.timer(name).add(elapsed)
+        rec = self.trace
+        if rec is not None:
+            now = rec.now()
+            rec.complete(name, now - elapsed, now)
 
     def total(self, name: str) -> float:
         t = self._timers.get(name)
@@ -124,26 +147,74 @@ class TimerRegistry:
         """Names of timers currently running (started but not stopped)."""
         return sorted(n for n, t in self._timers.items() if t.running)
 
-    def as_dict(self) -> dict[str, dict[str, float]]:
-        """Serializable snapshot, used to ship timings across ranks."""
-        return {
-            name: {
+    def as_dict(self) -> dict[str, dict]:
+        """Serializable snapshot, used to ship timings across ranks.
+
+        Lossless: includes ``min`` (0.0 for never-fired timers, so the
+        snapshot stays JSON-clean; :meth:`from_dict` restores the +inf
+        sentinel) and, for sample-keeping timers, the per-call ``samples``
+        list -- without which the Fig. 16 per-iteration sawtooth could not
+        survive a cross-rank merge.
+        """
+        snap: dict[str, dict] = {}
+        for name, t in self._timers.items():
+            entry: dict = {
                 "total": t.total,
                 "count": float(t.count),
                 "mean": t.mean,
+                "min": t.min_time if t.count else 0.0,
                 "max": t.max_time,
             }
-            for name, t in self._timers.items()
-        }
+            if t.keep_samples:
+                entry["samples"] = list(t.samples)
+            snap[name] = entry
+        return snap
+
+    @classmethod
+    def from_dict(cls, snapshot: dict[str, dict]) -> "TimerRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot."""
+        reg = cls()
+        reg.merge_snapshot(snapshot)
+        return reg
+
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold an :meth:`as_dict` snapshot into this registry.
+
+        This is the cross-rank aggregation path
+        (:func:`repro.mpi.launcher.aggregate_timer_snapshots`): totals and
+        counts sum, min/max fold, and shipped samples are preserved.
+        """
+        for name, entry in snapshot.items():
+            mine = self.timer(name)
+            count = int(entry["count"])
+            mine.total += float(entry["total"])
+            mine.count += count
+            if count:
+                mine.min_time = min(mine.min_time, float(entry["min"]))
+            mine.max_time = max(mine.max_time, float(entry["max"]))
+            samples = entry.get("samples")
+            if samples:
+                mine.keep_samples = True
+                mine.samples.extend(float(s) for s in samples)
 
     def merge(self, other: "TimerRegistry") -> None:
-        """Fold another registry into this one (summing totals/counts)."""
+        """Fold another registry into this one (summing totals/counts).
+
+        Samples are preserved whenever *either* side kept them: dropping
+        ``other``'s samples just because this registry was constructed
+        without ``keep_samples`` would lose per-call data irrecoverably.
+        A timer merged from a sample-keeping peer therefore becomes
+        sample-keeping itself (its own earlier calls, if any, remain
+        unsampled -- the list holds exactly the calls that were recorded).
+        """
         for name, t in other._timers.items():
             mine = self.timer(name)
             mine.total += t.total
             mine.count += t.count
             mine.min_time = min(mine.min_time, t.min_time)
             mine.max_time = max(mine.max_time, t.max_time)
+            if t.keep_samples:
+                mine.keep_samples = True
             if mine.keep_samples:
                 mine.samples.extend(t.samples)
 

@@ -131,6 +131,51 @@ class TestHaloExchange:
 
         run_spmd(1, prog)
 
+    def test_periodic_single_block_self_wraps(self):
+        """A periodic axis with one block is its own neighbor: ghosts must
+        wrap the owned block, exactly as numpy's wrap padding does."""
+        dims = (6, 5, 4)
+        field = _global_field(dims, seed=11)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims, depth=1)
+            ghosted = ex.allocate_ghosted()
+            ex.scatter_field(ghosted, field)
+            return ghosted
+
+        ghosted = run_spmd(1, prog)[0]
+        np.testing.assert_allclose(ghosted, np.pad(field, 1, mode="wrap"))
+
+    def test_periodic_single_block_shape_equal_depth(self):
+        """shape == depth on a self-wrapping axis is the boundary case that
+        must still be exact (every owned plane is sent, none is stale)."""
+        dims = (2, 6, 6)
+        field = _global_field(dims, seed=13)
+
+        def prog(comm):
+            ex = HaloExchanger(comm, dims, depth=2)
+            ghosted = ex.allocate_ghosted()
+            ex.scatter_field(ghosted, field)
+            return ghosted
+
+        ghosted = run_spmd(1, prog)[0]
+        np.testing.assert_allclose(ghosted, np.pad(field, 2, mode="wrap"))
+
+    def test_periodic_single_block_under_depth_rejected(self):
+        """Regression: a periodic single-block axis thinner than the ghost
+        depth used to construct fine and then self-wrap stale ghost planes
+        into the ghost layers (silent garbage).  It must be rejected up
+        front like the multi-block case always was."""
+
+        def prog(comm):
+            with pytest.raises(ValueError, match="self-wraps"):
+                HaloExchanger(comm, (1, 8, 8), depth=2)
+            # The same thin axis is fine when nothing exchanges over it.
+            ex = HaloExchanger(comm, (1, 8, 8), depth=2, periodic=(False, True, True))
+            assert ex.extent.shape[0] == 1
+
+        run_spmd(1, prog)
+
     def test_multicomponent_fields(self):
         """Trailing component dimensions ride along untouched."""
         dims = (6, 4, 4)
