@@ -7,6 +7,7 @@
     python -m repro run all           # everything
     python -m repro run table1 fig17  # a subset
     python -m repro lint src/         # repo-contract linter
+    python -m repro chaos --seed 42   # seeded fault-injection harness
     python -m repro report trace.json # Sec. 4.1.1 phase breakdown of a trace
     python -m repro report measured.json --against modeled.json   # model diff
 """
@@ -68,7 +69,57 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="schema-validate the trace(s) and fail on any violation",
     )
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "run the seeded end-to-end fault-injection harness (miniapp + "
+            "in-line histogram + retried BP writes + FlexPath staging with "
+            "in-line fallback) and write a recovery report"
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=42, help="fault-plan seed")
+    chaos.add_argument(
+        "--ranks", type=int, default=4, help="world size (writers + 1 endpoint)"
+    )
+    chaos.add_argument("--steps", type=int, default=10, help="simulation steps")
+    chaos.add_argument(
+        "--out",
+        default="chaos_artifacts",
+        help="artifact directory (recovery report, histograms, PNGs)",
+    )
+    chaos.add_argument(
+        "--ready-timeout",
+        type=float,
+        default=0.25,
+        help="seconds a writer waits for the endpoint's flow-control token",
+    )
+    chaos.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=3,
+        help="steps between simulation checkpoints",
+    )
     return parser
+
+
+def _chaos_main(args) -> int:
+    from repro.faults.chaos import ChaosError, render_report, run_chaos
+
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            ranks=args.ranks,
+            steps=args.steps,
+            out_dir=args.out,
+            ready_timeout=args.ready_timeout,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except ChaosError as exc:
+        print(f"chaos run failed accounting checks: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(report))
+    print(f"recovery report: {args.out}/recovery_report.json")
+    return 0
 
 
 def _report_main(args) -> int:
@@ -121,6 +172,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "report":
         return _report_main(args)
+    if args.command == "chaos":
+        return _chaos_main(args)
     catalog = available_experiments()
     if args.command == "list":
         width = max(len(n) for n in catalog)

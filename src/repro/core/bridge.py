@@ -70,6 +70,7 @@ class Bridge:
         self._analyses: list[AnalysisAdaptor] = []
         self._initialized = False
         self._finalized = False
+        self._final_results: dict[str, object] = {}
 
     @property
     def analyses(self) -> list[AnalysisAdaptor]:
@@ -127,11 +128,19 @@ class Bridge:
         return keep_going
 
     def finalize(self) -> dict[str, object]:
-        """Finalize every analysis; returns their results keyed by name."""
+        """Finalize every analysis; returns their results keyed by name.
+
+        Idempotent: a second call returns the first call's cached results
+        without re-finalizing any analysis.  Recovery paths need this --
+        when a staged job degrades or unwinds through an error handler,
+        finalize can legitimately be reached twice (the normal epilogue and
+        the recovery epilogue), and analyses must not double-close their
+        outputs.  ``execute`` after finalize still raises.
+        """
         if not self._initialized:
             raise RuntimeError("bridge.finalize() before initialize()")
         if self._finalized:
-            raise RuntimeError("bridge already finalized")
+            return self._final_results
         self._finalized = True
         results: dict[str, object] = {}
         with timed(self.timers, "sensei::finalize"):
@@ -150,4 +159,5 @@ class Bridge:
                     f"start/stop): {', '.join(dangling)}.  Phase totals "
                     "derived from these timers (Figs. 5-6) would be wrong."
                 )
+        self._final_results = results
         return results

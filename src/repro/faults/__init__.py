@@ -1,0 +1,70 @@
+"""repro.faults -- deterministic fault injection + resilience policies.
+
+The subsystem has two halves:
+
+- **Injection** (:mod:`~repro.faults.plan`, :mod:`~repro.faults.injector`):
+  a seeded, immutable :class:`FaultPlan` describes *what goes wrong when*
+  (one-shot :class:`FaultEvent`\\ s and probabilistic :class:`FaultRule`\\ s
+  over named sites); a :class:`FaultInjector` threads it through the MPI
+  runtime, storage writers, the I/O model, and the staging transport.
+  Every hook is behind a single ``is None`` check, so fault-free runs pay
+  one pointer comparison per site.
+
+- **Recovery** (:mod:`~repro.faults.policies`,
+  :mod:`~repro.faults.checkpoint`): retry with exponential backoff + full
+  jitter, circuit breaking for the staging transport's in-transit ->
+  in-line degradation, and periodic checkpoint/restart for rank death.
+
+Draws are counter-hashed (seed, site, rank, occurrence), never wall-clock
+or RNG-stream based, so a given seed produces an identical fault schedule
+and identical recovery decisions regardless of thread scheduling.
+"""
+
+from repro.faults.checkpoint import Checkpointable, CheckpointManager
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedFault,
+    InjectedRankDeath,
+    InjectedWriteError,
+)
+from repro.faults.plan import (
+    KNOWN_SITES,
+    SITE_MPI_COLLECTIVE,
+    SITE_MPI_SEND,
+    SITE_SIM_STEP,
+    SITE_STAGING_ENDPOINT,
+    SITE_STAGING_QUEUE,
+    SITE_STORAGE_WRITE,
+    FaultAction,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    chaos_plan,
+    unit_draw,
+)
+from repro.faults.policies import CircuitBreaker, RetryPolicy, retry_call
+
+__all__ = [
+    "Checkpointable",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedRankDeath",
+    "InjectedWriteError",
+    "KNOWN_SITES",
+    "RetryPolicy",
+    "SITE_MPI_COLLECTIVE",
+    "SITE_MPI_SEND",
+    "SITE_SIM_STEP",
+    "SITE_STAGING_ENDPOINT",
+    "SITE_STAGING_QUEUE",
+    "SITE_STORAGE_WRITE",
+    "chaos_plan",
+    "retry_call",
+    "unit_draw",
+]

@@ -1,0 +1,135 @@
+"""The fault injector: draws scheduled faults and logs every injection.
+
+One :class:`FaultInjector` is shared by every rank of a job (it travels on
+the communicator context, see ``run_spmd(faults=...)``).  Call sites consult
+it with :meth:`draw`; the injector resolves the plan's decision for that
+site/rank occurrence, records the injection in a deterministic log, and
+bumps the site's ``fault::injected`` trace counter when the caller passes
+its rank's trace recorder.
+
+The disabled path is a single ``is None`` check at every call site -- a job
+run without faults pays one pointer comparison per hook and nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultAction, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace import TraceRecorder
+
+
+class InjectedFault(RuntimeError):
+    """Base class for exceptions raised *by* injected faults, so recovery
+    code can distinguish synthetic failures from real bugs."""
+
+
+class InjectedWriteError(InjectedFault, OSError):
+    """An injected storage failure (failed or partial write)."""
+
+
+class InjectedRankDeath(InjectedFault):
+    """An injected rank death; carries the rank and step for recovery."""
+
+    def __init__(self, rank: int, step: int) -> None:
+        super().__init__(f"injected death of rank {rank} at step {step}")
+        self.rank = rank
+        self.step = step
+
+
+class FaultInjector:
+    """Mutable draw state + injection log over one immutable :class:`FaultPlan`.
+
+    Thread safety: per-(site, rank) occurrence counters are only ever
+    advanced from that rank's thread, but the counters dict, one-shot event
+    set, and log are shared -- all mutations happen under one lock.  The
+    lock is only taken when a plan is present, so it never touches the
+    fault-free hot path.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        if isinstance(plan, FaultInjector):  # pragma: no cover - defensive
+            raise TypeError("pass a FaultPlan, not an injector")
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._occurrences: dict[tuple[str, int], int] = {}
+        self._fired_events: set[int] = set()
+        #: Keyed (rule_index, rank): caps are per rank, so they drain in
+        #: each rank's program order -- never in thread-scheduling order.
+        self._rule_firings: dict[tuple[int, int], int] = {}
+        self._log: list[dict] = []
+
+    def draw(
+        self,
+        site: str,
+        rank: int,
+        step: int | None = None,
+        trace: "TraceRecorder | None" = None,
+    ) -> FaultAction | None:
+        """Resolve the fault (if any) for this occurrence of ``site`` on
+        ``rank``; log it and count ``fault::injected`` on ``trace``."""
+        with self._lock:
+            key = (site, rank)
+            occurrence = self._occurrences.get(key, 0)
+            self._occurrences[key] = occurrence + 1
+            hit = self.plan.match(
+                site,
+                rank,
+                occurrence,
+                step,
+                frozenset(self._fired_events),
+                self._rule_firings,
+            )
+            if hit is None:
+                return None
+            action, event_idx, rule_idx = hit
+            if event_idx is not None:
+                self._fired_events.add(event_idx)
+            if rule_idx is not None:
+                key_rr = (rule_idx, rank)
+                self._rule_firings[key_rr] = self._rule_firings.get(key_rr, 0) + 1
+            self._log.append(
+                {
+                    "site": site,
+                    "kind": action.kind,
+                    "rank": rank,
+                    "occurrence": occurrence,
+                    "step": step,
+                }
+            )
+        if trace is not None:
+            trace.count("fault::injected", 1)
+            trace.count(f"fault::{site}::{action.kind}", 1)
+        return action
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def injections(self) -> int:
+        with self._lock:
+            return len(self._log)
+
+    def schedule(self) -> list[dict]:
+        """The injection log in deterministic order.
+
+        Log *append* order depends on thread scheduling; sorting by
+        (site, rank, occurrence) -- a total key, since occurrence counters
+        are per (site, rank) -- restores a schedule that is identical for
+        identical runs, which the chaos determinism check relies on.
+        """
+        with self._lock:
+            return sorted(
+                (dict(e) for e in self._log),
+                key=lambda e: (e["site"], e["rank"], e["occurrence"]),
+            )
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Injection totals keyed ``site::kind`` (deterministic)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for e in self._log:
+                key = f"{e['site']}::{e['kind']}"
+                out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))

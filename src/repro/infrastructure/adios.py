@@ -18,23 +18,29 @@ transit Catalyst-slice carries the ~50% penalty the paper reports.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from repro.core.adaptors import AnalysisAdaptor, DataAdaptor
 from repro.data import Association, DataArray, ImageData, MultiBlockDataset
-from repro.mpi import Communicator, run_spmd
+from repro.mpi import MIN, Communicator, MPIError, run_spmd
 from repro.storage.bp import BPWriter
 from repro.util.decomp import Extent
 from repro.util.timers import TimerRegistry, timed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import CircuitBreaker, FaultInjector, FaultPlan
+    from repro.trace import TraceSession
 
 # Message tags of the staging protocol.
 _TAG_ADVANCE = 1001  # writer -> endpoint: step metadata
 _TAG_READY = 1002  # endpoint -> writer: flow-control token
 _TAG_DATA = 1003  # writer -> endpoint: array payload
 _TAG_EOS = 1004  # writer -> endpoint: end of stream
+_TAG_SKIP = 1005  # writer -> endpoint: degraded step, no data this round
 
 
 def endpoint_for_writer(writer: int, n_writers: int, n_endpoints: int) -> int:
@@ -53,12 +59,20 @@ def writers_for_endpoint(endpoint: int, n_writers: int, n_endpoints: int) -> lis
 
 
 class AdiosBPAdaptor(AnalysisAdaptor):
-    """File-mode ADIOS: every execute writes the step into a BP container."""
+    """File-mode ADIOS: every execute writes the step into a BP container.
 
-    def __init__(self, path, array: str = "data") -> None:
+    ``retry`` (a :class:`~repro.faults.RetryPolicy`) retries each rank's
+    block write under exponential backoff with full jitter; only the write
+    itself is retried (it is idempotent -- see
+    :meth:`~repro.storage.bp.BPWriter._consult_injector`), never the
+    collective ``begin_step``/``end_step`` boundaries.
+    """
+
+    def __init__(self, path, array: str = "data", retry=None) -> None:
         super().__init__()
         self.path = path
         self.array = array
+        self.retry = retry
         self._writer: BPWriter | None = None
         self._comm = None
         self.steps_written = 0
@@ -76,9 +90,20 @@ class AdiosBPAdaptor(AnalysisAdaptor):
                 self._comm, self.path, (w.shape[0], w.shape[1], w.shape[2])
             )
         arr = data.get_array(Association.POINT, self.array)
+        block = arr.values.reshape(mesh.dims)
         with timed(self.timers, "adios::write"):
             self._writer.begin_step()
-            self._writer.write(self.array, arr.values.reshape(mesh.dims), mesh.extent)
+            if self.retry is not None:
+                from repro.faults.policies import retry_call
+
+                retry_call(
+                    lambda: self._writer.write(self.array, block, mesh.extent),
+                    self.retry,
+                    key=f"bp:{self._comm.rank}:{self.steps_written}",
+                    trace=self.timers.trace if self.timers is not None else None,
+                )
+            else:
+                self._writer.write(self.array, block, mesh.extent)
             self._writer.end_step()
         self.steps_written += 1
         return True
@@ -89,12 +114,60 @@ class AdiosBPAdaptor(AnalysisAdaptor):
         return {"steps_written": self.steps_written}
 
 
+class StagingResilience:
+    """Config + accounting for a resilient staging writer group.
+
+    One instance per writer rank (they cannot share mutable state across
+    simulated address spaces), all built with identical parameters so the
+    collective degrade decisions stay uniform.  ``fallback`` is an optional
+    in-line analysis adaptor executed on the *writer* group whenever the
+    in-transit path is degraded -- the paper's in-line Catalyst
+    configuration standing in for the lost endpoint.  With no fallback,
+    degraded steps are skipped but still accounted.
+    """
+
+    def __init__(
+        self,
+        group: Communicator,
+        ready_timeout: float = 0.25,
+        breaker: "CircuitBreaker | None" = None,
+        fallback: AnalysisAdaptor | None = None,
+    ) -> None:
+        if ready_timeout <= 0:
+            raise ValueError("ready_timeout must be positive")
+        self.group = group
+        self.ready_timeout = ready_timeout
+        if breaker is None:
+            from repro.faults import CircuitBreaker as _Breaker
+
+            breaker = _Breaker()
+        self.breaker = breaker
+        self.fallback = fallback
+        self._fallback_ready = False
+        self.staged_steps = 0
+        self.degraded_steps = 0
+        self.skipped_steps = 0
+
+
 class AdiosFlexPathWriter(AnalysisAdaptor):
     """Writer-side FlexPath adaptor: ships each step to its endpoint rank.
 
     ``world`` is the communicator spanning writers + endpoints; ``execute``
     runs on the writer group.  One endpoint world-rank is assigned per
     writer by :func:`endpoint_for_writer`.
+
+    With ``resilience`` set (requires ``group``, the writer-group
+    communicator), the per-step protocol changes from optimistic
+    (ADVANCE, then block on READY, then DATA) to guarded: the writer first
+    waits for the endpoint's READY token under a short timeout, the writer
+    group reaches consensus on the outcome (an ``allreduce(MIN)``, so one
+    straggling or disconnected endpoint degrades *every* writer in the same
+    step and collective analyses stay aligned), and only then ships the
+    step.  Degraded steps run the in-line ``fallback`` analysis -- or are
+    skipped with accounting -- and a circuit breaker stops paying the READY
+    timeout once the endpoint is presumed dead, probing periodically for
+    recovery.  A degraded round sends a SKIP marker so a still-live
+    endpoint's receive loop stays in phase.
     """
 
     def __init__(
@@ -104,13 +177,19 @@ class AdiosFlexPathWriter(AnalysisAdaptor):
         n_writers: int,
         n_endpoints: int,
         array: str = "data",
+        group: Communicator | None = None,
+        resilience: StagingResilience | None = None,
     ) -> None:
         super().__init__()
+        if resilience is not None and group is None:
+            raise ValueError("resilience mode requires the writer-group communicator")
         self.world = world
         self.writer_rank = writer_rank
         self.n_writers = n_writers
         self.n_endpoints = n_endpoints
         self.array = array
+        self.group = group
+        self.resilience = resilience
         # Endpoint world ranks sit after the writers.
         self.endpoint_world_rank = n_writers + endpoint_for_writer(
             writer_rank, n_writers, n_endpoints
@@ -121,36 +200,127 @@ class AdiosFlexPathWriter(AnalysisAdaptor):
         mesh = data.get_mesh(structure_only=True)
         if not isinstance(mesh, ImageData):
             raise TypeError("FlexPath writer requires an ImageData mesh")
+        if self.resilience is not None:
+            return self._execute_resilient(data, mesh)
         arr = data.get_array(Association.POINT, self.array)
         with timed(self.timers, "adios::advance"):
-            meta = {
-                "writer": self.writer_rank,
-                "step": data.get_data_time_step(),
-                "time": data.get_data_time(),
-                "extent": mesh.extent,
-                "whole_extent": mesh.whole_extent,
-                "array": self.array,
-            }
-            self.world.send(meta, dest=self.endpoint_world_rank, tag=_TAG_ADVANCE)
+            self.world.send(
+                self._step_meta(data, mesh),
+                dest=self.endpoint_world_rank,
+                tag=_TAG_ADVANCE,
+            )
         with timed(self.timers, "adios::analysis"):
             # Flow control: block until the endpoint is ready for this step.
             self.world.recv(source=self.endpoint_world_rank, tag=_TAG_READY)
-            # FlexPath is not zero-copy: stage an explicit buffer copy.
-            staged = np.array(arr.values.reshape(mesh.dims), copy=True)
-            rec = self.timers.trace if self.timers is not None else None
-            if rec is not None:
-                rec.count("adios::bytes_copied", staged.nbytes)
-            if self.memory is not None:
-                self.memory.allocate(staged.nbytes, label="adios::staging")
-            self.world.send(staged, dest=self.endpoint_world_rank, tag=_TAG_DATA)
-            if self.memory is not None:
-                self.memory.free(staged.nbytes, label="adios::staging")
+            self._ship(arr, mesh)
         self.steps_sent += 1
+        return True
+
+    def _step_meta(self, data: DataAdaptor, mesh: ImageData) -> dict:
+        return {
+            "writer": self.writer_rank,
+            "step": data.get_data_time_step(),
+            "time": data.get_data_time(),
+            "extent": mesh.extent,
+            "whole_extent": mesh.whole_extent,
+            "array": self.array,
+        }
+
+    def _ship(self, arr: DataArray, mesh: ImageData) -> None:
+        # FlexPath is not zero-copy: stage an explicit buffer copy.
+        staged = np.array(arr.values.reshape(mesh.dims), copy=True)
+        rec = self.timers.trace if self.timers is not None else None
+        if rec is not None:
+            rec.count("adios::bytes_copied", staged.nbytes)
+        if self.memory is not None:
+            self.memory.allocate(staged.nbytes, label="adios::staging")
+        self.world.send(staged, dest=self.endpoint_world_rank, tag=_TAG_DATA)
+        if self.memory is not None:
+            self.memory.free(staged.nbytes, label="adios::staging")
+
+    def _execute_resilient(self, data: DataAdaptor, mesh: ImageData) -> bool:
+        res = self.resilience
+        rec = self.timers.trace if self.timers is not None else None
+        # The breaker is consulted exactly once per step on every writer;
+        # its state is a pure function of the (uniform) consensus history,
+        # so allow() returns the same answer on every rank.
+        ok = 1 if res.breaker.allow() else 0
+        inj = getattr(self.world, "fault_injector", None)
+        if ok and inj is not None:
+            # Writer-side bounded staging queue: an overflow refuses the
+            # step locally; consensus below degrades the whole group.
+            action = inj.draw(
+                "staging.queue",
+                self.world._draw_rank(),
+                step=data.get_data_time_step(),
+                trace=rec,
+            )
+            if action is not None and action.kind == "queue_full":
+                ok = 0
+        if ok:
+            try:
+                with timed(self.timers, "adios::ready_wait"):
+                    self.world.recv(
+                        source=self.endpoint_world_rank,
+                        tag=_TAG_READY,
+                        timeout=res.ready_timeout,
+                    )
+            except MPIError:
+                ok = 0
+        # Consensus: one degraded writer degrades all, keeping the fallback
+        # analysis' collectives aligned across the writer group.  (A writer
+        # whose READY arrived anyway keeps the token for the next attempt.)
+        consensus = res.group.allreduce(ok, MIN)
+        if consensus:
+            res.breaker.record_success()
+            with timed(self.timers, "adios::advance"):
+                self.world.send(
+                    self._step_meta(data, mesh),
+                    dest=self.endpoint_world_rank,
+                    tag=_TAG_ADVANCE,
+                )
+            with timed(self.timers, "adios::analysis"):
+                self._ship(data.get_array(Association.POINT, self.array), mesh)
+            res.staged_steps += 1
+            self.steps_sent += 1
+            return True
+        res.breaker.record_failure()
+        # Keep a still-live endpoint's round-robin receive loop in phase.
+        self.world.send(None, dest=self.endpoint_world_rank, tag=_TAG_SKIP)
+        if res.fallback is not None:
+            if not res._fallback_ready:
+                res.fallback.set_instrumentation(self.timers, self.memory)
+                res.fallback.initialize(res.group)
+                res._fallback_ready = True
+            with timed(self.timers, "adios::fallback_analysis"):
+                res.fallback.execute(data)
+            res.degraded_steps += 1
+            if rec is not None:
+                rec.count("resilience::degraded_steps", 1)
+        else:
+            res.skipped_steps += 1
+            if rec is not None:
+                rec.count("resilience::skipped_steps", 1)
         return True
 
     def finalize(self):
         self.world.send(None, dest=self.endpoint_world_rank, tag=_TAG_EOS)
-        return {"steps_sent": self.steps_sent}
+        out = {"steps_sent": self.steps_sent}
+        res = self.resilience
+        if res is not None:
+            fallback_result = (
+                res.fallback.finalize() if res._fallback_ready else None
+            )
+            out.update(
+                {
+                    "staged_steps": res.staged_steps,
+                    "degraded_steps": res.degraded_steps,
+                    "skipped_steps": res.skipped_steps,
+                    "breaker": res.breaker.snapshot(),
+                    "fallback_result": fallback_result,
+                }
+            )
+        return out
 
 
 class EndpointDataAdaptor(DataAdaptor):
@@ -257,7 +427,27 @@ def run_endpoint(
     # Issue one flow-control token per writer up front.
     for w in open_writers:
         world.send(None, dest=w, tag=_TAG_READY)
+    inj = getattr(world, "fault_injector", None)
+    loop_step = 0
+    steps_analyzed = 0
+    disconnected_at: int | None = None
     while open_writers:
+        if inj is not None:
+            # Reader-side fault site: a ``disconnect`` kills the endpoint
+            # loop here, before this round's receives -- the writers' next
+            # READY wait times out and the job degrades to in-line
+            # analysis.  ``stale_step`` delays the reader, serving the
+            # round late.
+            action = inj.draw(
+                "staging.endpoint", endpoint_rank, step=loop_step,
+                trace=timers.trace,
+            )
+            if action is not None:
+                if action.kind == "disconnect":
+                    disconnected_at = loop_step
+                    break
+                if action.kind == "stale_step":
+                    time.sleep(float(action.params.get("seconds", 0.002)))
         step_time = 0.0
         step_idx = 0
         with timed(timers, "endpoint::receive"):
@@ -266,6 +456,10 @@ def run_endpoint(
                 payload, src, tag = world.recv_with_status(source=w)
                 if tag == _TAG_EOS:
                     open_writers.discard(w)
+                    continue
+                if tag == _TAG_SKIP:
+                    # The writer group degraded this round; nothing to
+                    # ingest from anyone (the decision is collective).
                     continue
                 assert tag == _TAG_ADVANCE, f"protocol violation: tag {tag}"
                 meta = payload
@@ -277,26 +471,34 @@ def run_endpoint(
                 step_time = meta["time"]
                 step_idx = meta["step"]
                 got_any = True
-        if not got_any:
-            break
-        adaptor.set_data_time(step_time, step_idx)
-        if guard is not None:
-            guard.set_data_time(step_time, step_idx)
-            guard.begin_analysis(analysis)
-            with timed(timers, "endpoint::analysis"):
-                analysis.execute(guard)
-            guard.verify_analysis(analysis)
-            guard.release_and_check()
-        else:
-            with timed(timers, "endpoint::analysis"):
-                analysis.execute(adaptor)
-            adaptor.release_data()
+        if got_any:
+            adaptor.set_data_time(step_time, step_idx)
+            if guard is not None:
+                guard.set_data_time(step_time, step_idx)
+                guard.begin_analysis(analysis)
+                with timed(timers, "endpoint::analysis"):
+                    analysis.execute(guard)
+                guard.verify_analysis(analysis)
+                guard.release_and_check()
+            else:
+                with timed(timers, "endpoint::analysis"):
+                    analysis.execute(adaptor)
+                adaptor.release_data()
+            steps_analyzed += 1
         # Release the next flow-control token to writers still streaming.
+        # (An all-SKIP round still re-issues tokens: the endpoint remains
+        # ready, and a recovering writer group finds a token waiting.)
         for w in sorted(open_writers):
             world.send(None, dest=w, tag=_TAG_READY)
+        loop_step += 1
     with timed(timers, "endpoint::finalize"):
         result = analysis.finalize()
-    return {"result": result, "timers": timers.as_dict()}
+    return {
+        "result": result,
+        "timers": timers.as_dict(),
+        "steps_analyzed": steps_analyzed,
+        "disconnected_at_step": disconnected_at,
+    }
 
 
 def run_flexpath_job(
@@ -307,6 +509,9 @@ def run_flexpath_job(
     array: str = "data",
     timeout: float = 120.0,
     sanitize: bool = False,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    resilience_factory: Callable[[Communicator], StagingResilience] | None = None,
+    trace: "TraceSession | None" = None,
 ) -> FlexPathJobResult:
     """Run a complete staged job: writers + endpoint in one SPMD world.
 
@@ -316,6 +521,14 @@ def run_flexpath_job(
     the analysis the endpoint hosts.  ``sanitize`` enables the zero-copy
     write/retention guard around the endpoint's analysis (see
     :func:`run_endpoint`).
+
+    ``faults`` threads a :class:`~repro.faults.FaultPlan` through the whole
+    job (fabric, storage, staging sites).  ``resilience_factory(group)``
+    builds each writer rank's :class:`StagingResilience`; it requires
+    ``n_endpoints == 1`` -- with several endpoints a *partial* endpoint
+    death would leave surviving endpoints blocked on writers that degraded,
+    and the group-wide degrade consensus would be wrong for writers whose
+    endpoint is fine.
     """
     if n_writers <= 0 or n_endpoints <= 0:
         raise ValueError("writer and endpoint counts must be positive")
@@ -323,6 +536,8 @@ def run_flexpath_job(
         # An endpoint with no writers would never execute its (collective)
         # analysis while its peers do, deadlocking the endpoint group.
         raise ValueError("n_endpoints must not exceed n_writers")
+    if resilience_factory is not None and n_endpoints != 1:
+        raise ValueError("staging resilience requires exactly one endpoint")
 
     total = n_writers + n_endpoints
 
@@ -331,7 +546,17 @@ def run_flexpath_job(
         group = world.split(color=0 if is_writer else 1)
         if is_writer:
             writer = AdiosFlexPathWriter(
-                world, group.rank, n_writers, n_endpoints, array=array
+                world,
+                group.rank,
+                n_writers,
+                n_endpoints,
+                array=array,
+                group=group,
+                resilience=(
+                    resilience_factory(group)
+                    if resilience_factory is not None
+                    else None
+                ),
             )
             return ("writer", writer_program(group, writer))
         endpoint_rank = world.rank - n_writers
@@ -349,7 +574,7 @@ def run_flexpath_job(
             ),
         )
 
-    results = run_spmd(total, job, timeout=timeout)
+    results = run_spmd(total, job, timeout=timeout, faults=faults, trace=trace)
     return FlexPathJobResult(
         writer_results=[r for kind, r in results if kind == "writer"],
         endpoint_results=[r for kind, r in results if kind == "endpoint"],

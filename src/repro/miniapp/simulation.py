@@ -15,6 +15,8 @@ Sec. 4.1.1 are both available from this one class.
 
 from __future__ import annotations
 
+import time as _time
+
 import numpy as np
 
 from repro.core.generic import LazyStructuredDataAdaptor
@@ -160,6 +162,12 @@ class OscillatorSimulation:
         opt-in kernel cache the refill is a single matvec into the field's
         flat view -- same values to machine precision, no temporaries.
         """
+        inj = getattr(self.comm, "fault_injector", None)
+        if inj is not None:
+            # Consulted before any state mutation: a death here leaves the
+            # sim exactly at the last completed step, so checkpoint
+            # restore + replay reconstructs it without a torn update.
+            self._consult_injector(inj)
         rec = self.timers.trace
         if rec is not None:
             # Tag the span about to open (and everything nested under it)
@@ -176,6 +184,38 @@ class OscillatorSimulation:
                     self.field += osc.evaluate(self._x, self._y, self._z, self.time)
             if self.sync:
                 self.comm.barrier()
+
+    def _consult_injector(self, inj) -> None:
+        action = inj.draw(
+            "sim.step",
+            self.comm._draw_rank(),
+            step=self.step + 1,
+            trace=self.timers.trace,
+        )
+        if action is None:
+            return
+        if action.kind == "die":
+            from repro.faults.injector import InjectedRankDeath
+
+            raise InjectedRankDeath(self.comm.rank, self.step + 1)
+        if action.kind == "stall":
+            _time.sleep(float(action.params.get("seconds", 0.002)))
+
+    # -- checkpoint/restart ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Value-semantics checkpoint of the rank's solver state."""
+        return {
+            "time": self.time,
+            "step": self.step,
+            "field": self.field.copy(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rewind to a :meth:`snapshot`.  The field buffer is written in
+        place so adaptors holding a reference stay valid."""
+        self.time = float(snap["time"])
+        self.step = int(snap["step"])
+        np.copyto(self.field, snap["field"])
 
     def run(self, n_steps: int, bridge=None) -> None:
         """Run ``n_steps``; when a bridge is given, hand it every step.

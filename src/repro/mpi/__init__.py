@@ -30,6 +30,7 @@ from repro.mpi.communicator import (
     CollectiveMismatchError,
     Communicator,
     MPIError,
+    RankAbort,
 )
 from repro.mpi.launcher import SPMDError, aggregate_timer_snapshots, run_spmd
 from repro.mpi.halo import HaloExchanger
@@ -38,6 +39,7 @@ __all__ = [
     "HaloExchanger",
     "Communicator",
     "MPIError",
+    "RankAbort",
     "CollectiveMismatchError",
     "ANY_SOURCE",
     "ANY_TAG",

@@ -29,6 +29,24 @@ receiving rank; ``recv`` blocks until a message matching ``(source, tag)``
 arrives.  Payloads that expose numpy buffers are copied on receive so ranks
 cannot alias each other's memory -- that would silently break the zero-copy
 accounting experiments.
+
+With a :class:`~repro.faults.FaultInjector` attached
+(``run_spmd(faults=...)``) the fabric injects message-level faults at the
+``mpi.send`` site: *delay* (delivery deferred), *duplicate* (delivered
+twice), and *drop* (the message is lost; the transport's reliable-delivery
+layer retransmits it after a timeout, counted as
+``resilience::retransmit``).  Faulted messages carry per-(source, dest)
+sequence numbers; the receiving mailbox restores MPI's non-overtaking
+guarantee by matching in sequence order and discards duplicate deliveries,
+so a program's *results* under message faults are identical to the
+fault-free run -- only the timing differs.  Rank stalls are injected at
+collective entry (``mpi.collective``).  Without an injector every hook is
+one ``is None`` check.
+
+When any rank of the job fails, the launcher aborts the shared context:
+peers blocked in collectives *or* point-to-point receives are released
+immediately with :class:`RankAbort` (naming the failing rank) instead of
+burning the watchdog timeout.
 """
 
 from __future__ import annotations
@@ -60,6 +78,17 @@ _HISTORY_LIMIT = 32
 
 _MPI_DIR = os.path.dirname(os.path.abspath(__file__))
 
+#: The world rank owning the current thread, set by the launcher.  Fault
+#: draws key on it instead of the (communicator-local) rank: a thread's
+#: sends on the world communicator and on sub-communicators then share one
+#: deterministic per-rank draw sequence, where per-facade ranks would
+#: collide across groups (world rank 0 vs. some group's rank 0) and make
+#: rule draws depend on thread scheduling.
+_thread_world_rank = threading.local()
+
+#: Payload sentinel for an in-flight (delayed/retransmitted) envelope.
+_PENDING = object()
+
 
 class MPIError(RuntimeError):
     """Raised for misuse of the communicator (mismatched calls, deadlock)."""
@@ -68,6 +97,12 @@ class MPIError(RuntimeError):
 class CollectiveMismatchError(MPIError):
     """Ranks entered the same barrier through divergent collective calls
     (different kinds, reduce ops, roots, or incompatible payloads)."""
+
+
+class RankAbort(MPIError):
+    """This rank was released from a blocking operation because *another*
+    rank failed -- collateral damage, not a root cause.  The launcher
+    reports these separately from the originating failure."""
 
 
 #: A collective trace record: ``(seq, kind, op, root, payload_sig, site)``.
@@ -151,24 +186,77 @@ def _format_record(record: "CollectiveRecord | None") -> str:
 
 
 class _Mailbox:
-    """Per-rank inbound message store with tag/source matching."""
+    """Per-rank inbound message store with tag/source matching.
+
+    Entries are ``(source, tag, seq, payload)``.  ``seq`` is None on the
+    fault-free path; under fault injection it is the sender's per-(source,
+    dest) sequence number.  Sequenced entries are matched lowest-(source,
+    seq)-first, and a sequence delivered once is discarded on re-delivery
+    (injected duplicates).
+
+    A delayed or dropped-then-retransmitted message leaves a *pending*
+    envelope (:data:`_PENDING` payload) in the store immediately: its
+    (source, tag, seq) are known -- the message is in flight -- but it is
+    not yet deliverable.  A receive whose pattern matches a pending
+    envelope with a lower sequence number than any deliverable match WAITS
+    for it, which is exactly MPI's non-overtaking rule: same-(source,
+    pattern) messages arrive in send order, while receives for other tags
+    overtake freely.
+    """
 
     def __init__(self) -> None:
-        self._messages: list[tuple[int, int, Any]] = []
+        self._messages: list[tuple[int, int, "int | None", Any]] = []
         self._cond = threading.Condition()
+        self._delivered: dict[int, set[int]] = {}
+        self._abort_reason: str | None = None
 
-    def put(self, source: int, tag: int, payload: Any) -> None:
+    def put(self, source: int, tag: int, payload: Any, seq: "int | None" = None) -> None:
         with self._cond:
-            self._messages.append((source, tag, payload))
+            self._messages.append((source, tag, seq, payload))
+            self._cond.notify_all()
+
+    def put_pending(self, source: int, tag: int, seq: int) -> None:
+        """Register an in-flight envelope (delayed/retransmitted message)."""
+        with self._cond:
+            self._messages.append((source, tag, seq, _PENDING))
+
+    def fulfill(self, source: int, seq: int, payload: Any) -> None:
+        """Deliver the payload of a pending envelope."""
+        with self._cond:
+            for idx, (src, t, s, body) in enumerate(self._messages):
+                if src == source and s == seq and body is _PENDING:
+                    self._messages[idx] = (src, t, s, payload)
+                    break
+            self._cond.notify_all()
+
+    def abort(self, reason: str) -> None:
+        """Release all blocked receivers with :class:`RankAbort`."""
+        with self._cond:
+            self._abort_reason = reason
             self._cond.notify_all()
 
     def _match(self, source: int, tag: int) -> int | None:
-        for idx, (src, t, _) in enumerate(self._messages):
+        best: int | None = None
+        best_key: tuple[int, int] | None = None
+        pending_key: tuple[int, int] | None = None
+        for idx, (src, t, seq, body) in enumerate(self._messages):
             if (source == ANY_SOURCE or src == source) and (
                 tag == ANY_TAG or t == tag
             ):
-                return idx
-        return None
+                if seq is None:
+                    # Fault-free path: plain FIFO arrival order.
+                    return idx
+                key = (src, seq)
+                if body is _PENDING:
+                    if pending_key is None or key < pending_key:
+                        pending_key = key
+                elif best_key is None or key < best_key:
+                    best, best_key = idx, key
+        if pending_key is not None and (best_key is None or pending_key < best_key):
+            # An earlier matching message is still in flight; taking the
+            # later one would violate non-overtaking order.
+            return None
+        return best
 
     def get(
         self,
@@ -178,9 +266,34 @@ class _Mailbox:
         race_cb: "Callable[[list[tuple[int, int]]], None] | None" = None,
     ) -> tuple[int, int, Any]:
         with self._cond:
-            idx = self._match(source, tag)
             deadline = time.monotonic() + timeout
-            while idx is None:
+            while True:
+                if self._abort_reason is not None:
+                    raise RankAbort(
+                        f"recv(source={source}, tag={tag}) aborted: "
+                        + self._abort_reason
+                    )
+                idx = self._match(source, tag)
+                if idx is not None:
+                    if race_cb is not None and (
+                        source == ANY_SOURCE or tag == ANY_TAG
+                    ):
+                        matches = [
+                            (src, t)
+                            for src, t, _, body in self._messages
+                            if body is not _PENDING
+                            and (source == ANY_SOURCE or src == source)
+                            and (tag == ANY_TAG or t == tag)
+                        ]
+                        if len(matches) > 1:
+                            race_cb(matches)
+                    src, t, seq, payload = self._messages.pop(idx)
+                    if seq is not None:
+                        seen = self._delivered.setdefault(src, set())
+                        if seq in seen:
+                            continue  # injected duplicate: already delivered
+                        seen.add(seq)
+                    return src, t, payload
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise MPIError(
@@ -188,23 +301,12 @@ class _Mailbox:
                         "likely deadlock or missing send"
                     )
                 self._cond.wait(remaining)
-                idx = self._match(source, tag)
-            if race_cb is not None and (source == ANY_SOURCE or tag == ANY_TAG):
-                matches = [
-                    (src, t)
-                    for src, t, _ in self._messages
-                    if (source == ANY_SOURCE or src == source)
-                    and (tag == ANY_TAG or t == tag)
-                ]
-                if len(matches) > 1:
-                    race_cb(matches)
-            return self._messages.pop(idx)
 
 
 class _Context:
     """Shared state for one communicator: slots, barrier, mailboxes."""
 
-    def __init__(self, size: int, trace: bool = False) -> None:
+    def __init__(self, size: int, trace: bool = False, injector=None) -> None:
         self.size = size
         self.slots: list[Any] = [None] * size
         #: One collective trace record per rank, deposited alongside the
@@ -213,15 +315,55 @@ class _Context:
         #: Debug tracing: call sites + rolling per-rank history + wildcard
         #: receive race flagging.  The cross-check itself is always on.
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector`; None keeps every
+        #: fault hook to a single pointer comparison.
+        self.injector = injector
         self.histories: list[deque] = [
             deque(maxlen=_HISTORY_LIMIT) for _ in range(size)
         ]
         self.race_events: list[dict] = []
         self.barrier = threading.Barrier(size)
         self.mailboxes = [_Mailbox() for _ in range(size)]
+        #: Per-rank count of barrier-phase entries; on a collective timeout
+        #: the counts tell which ranks had / had not arrived.
+        self.sync_counts = [0] * size
+        #: Set by :meth:`abort`; blocked peers raise :class:`RankAbort`
+        #: carrying this reason instead of timing out.
+        self.abort_reason: str | None = None
+        #: Sub-communicator contexts, so an abort cascades into them.
+        self.children: list["_Context"] = []
         # Serializes sub-communicator creation bookkeeping.
         self.lock = threading.Lock()
         self.split_results: dict[int, "_Context"] = {}
+
+    def abort(self, reason: str) -> None:
+        """Release every rank blocked anywhere in this context tree."""
+        self.abort_reason = reason
+        self.barrier.abort()
+        for box in self.mailboxes:
+            box.abort(reason)
+        with self.lock:
+            children = list(self.children)
+        for child in children:
+            child.abort(reason)
+
+
+def _deliver_later(
+    box: _Mailbox, source: int, tag: int, payload: Any, seq: int, delay: float
+) -> None:
+    """Deliver a (already copied) message after ``delay`` seconds.
+
+    Backs injected message delays and drop-retransmits.  The envelope is
+    registered in the mailbox immediately (the message is in flight, so
+    later same-pattern messages must not overtake it); only the payload
+    arrives late.  Daemon timers: a delivery racing job teardown lands in
+    a mailbox nobody reads, exactly like a late packet arriving after the
+    receiver exited.
+    """
+    box.put_pending(source, tag, seq)
+    timer = threading.Timer(delay, box.fulfill, args=(source, seq, payload))
+    timer.daemon = True
+    timer.start()
 
 
 def _copy_payload(payload: Any) -> Any:
@@ -250,9 +392,34 @@ class Communicator:
         self._timeout = timeout
         #: This rank's collective sequence number (for trace diagnostics).
         self._seq = 0
+        #: Per-destination send sequence numbers, used only under fault
+        #: injection (ordering + duplicate suppression at the receiver).
+        self._send_seqs: dict[int, int] = {}
         #: Structured-trace recorder (see :mod:`repro.trace`); None keeps
         #: every hook to a single pointer comparison.
         self._trace_recorder = None
+
+    @property
+    def timeout(self) -> float:
+        """The collective/recv watchdog, in seconds.  Settable so recovery
+        policies can shorten the wait at specific sites (e.g. the staging
+        flow-control handshake) without rebuilding the communicator."""
+        return self._timeout
+
+    @timeout.setter
+    def timeout(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("timeout must be positive")
+        self._timeout = float(value)
+
+    @property
+    def fault_injector(self):
+        """The job's :class:`repro.faults.FaultInjector`, or None."""
+        return self._ctx.injector
+
+    def _draw_rank(self) -> int:
+        """The rank identity fault draws key on (world rank when known)."""
+        return getattr(_thread_world_rank, "rank", self._rank)
 
     # -- structured tracing ------------------------------------------------
     def attach_trace(self, recorder) -> None:
@@ -284,13 +451,51 @@ class Communicator:
 
     # -- point to point ----------------------------------------------------
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
-        """Eager, non-blocking-complete send (buffered semantics)."""
+        """Eager, non-blocking-complete send (buffered semantics).
+
+        Under fault injection (``mpi.send`` site) the message may be
+        delayed, duplicated, or dropped-and-retransmitted; see the module
+        docstring.  Results are unaffected -- sequence numbers restore
+        delivery order and suppress duplicates at the receiver.
+        """
         if not 0 <= dest < self.size:
             raise MPIError(f"send dest {dest} out of range (size {self.size})")
         rec = self._trace_recorder
         if rec is not None:
             rec.count("mpi::send::bytes", _payload_nbytes(payload))
-        self._ctx.mailboxes[dest].put(self._rank, tag, _copy_payload(payload))
+        box = self._ctx.mailboxes[dest]
+        inj = self._ctx.injector
+        if inj is None:
+            box.put(self._rank, tag, _copy_payload(payload))
+            return
+        seq = self._send_seqs.get(dest, 0)
+        self._send_seqs[dest] = seq + 1
+        payload = _copy_payload(payload)
+        action = inj.draw("mpi.send", self._draw_rank(), trace=rec)
+        if action is None:
+            box.put(self._rank, tag, payload, seq=seq)
+            return
+        kind = action.kind
+        if kind == "duplicate":
+            # Delivered twice; the receiver's seq dedup discards the copy.
+            box.put(self._rank, tag, payload, seq=seq)
+            box.put(self._rank, tag, payload, seq=seq)
+        elif kind == "delay":
+            _deliver_later(
+                box, self._rank, tag, payload, seq,
+                float(action.params.get("seconds", 0.005)),
+            )
+        elif kind == "drop":
+            # The message is lost on the wire; the reliable-transport layer
+            # notices (retransmission timeout) and resends the same seq.
+            if rec is not None:
+                rec.count("resilience::retransmit", 1)
+            _deliver_later(
+                box, self._rank, tag, payload, seq,
+                float(action.params.get("retransmit_after", 0.01)),
+            )
+        else:  # unknown kinds deliver normally (forward compatibility)
+            box.put(self._rank, tag, payload, seq=seq)
 
     def _race_cb(
         self, source: int, tag: int
@@ -330,18 +535,35 @@ class Communicator:
         """This rank's recent collective records (trace mode only)."""
         return list(self._ctx.histories[self._rank])
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Any:
+        """Blocking receive.  ``timeout`` overrides the communicator-wide
+        watchdog for this call only (resilience policies use short waits to
+        probe a possibly-dead peer without stalling the step loop)."""
         _, _, payload = self._ctx.mailboxes[self._rank].get(
-            source, tag, self._timeout, race_cb=self._race_cb(source, tag)
+            source,
+            tag,
+            self._timeout if timeout is None else timeout,
+            race_cb=self._race_cb(source, tag),
         )
         return payload
 
     def recv_with_status(
-        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
     ) -> tuple[Any, int, int]:
         """Receive returning ``(payload, source, tag)``."""
         src, t, payload = self._ctx.mailboxes[self._rank].get(
-            source, tag, self._timeout, race_cb=self._race_cb(source, tag)
+            source,
+            tag,
+            self._timeout if timeout is None else timeout,
+            race_cb=self._race_cb(source, tag),
         )
         return payload, src, t
 
@@ -354,12 +576,32 @@ class Communicator:
 
     # -- collectives -------------------------------------------------------
     def _sync(self) -> None:
+        counts = self._ctx.sync_counts
+        counts[self._rank] += 1
         try:
             self._ctx.barrier.wait(timeout=self._timeout)
         except threading.BrokenBarrierError as exc:
+            mine = counts[self._rank]
+            reason = self._ctx.abort_reason
+            if reason is not None:
+                # An abort can race the barrier wake-up: if every rank had
+                # already arrived at this phase (counters advance only after
+                # the slot deposit), the exchange was complete and this rank
+                # may proceed -- letting it surface its *own* error instead
+                # of being misclassified as collateral damage.
+                if all(counts[r] >= mine for r in range(self.size)):
+                    return
+                raise RankAbort(f"collective aborted: {reason}") from exc
+            # Benign racy reads: each slot is written only by its own rank,
+            # and a rank that arrives during the report at worst moves from
+            # the missing list to the arrived list.
+            arrived = sorted(r for r in range(self.size) if counts[r] >= mine)
+            missing = sorted(r for r in range(self.size) if counts[r] < mine)
             raise MPIError(
-                "collective timed out: likely mismatched collective calls "
-                "across ranks (deadlock)" + self._history_hint()
+                f"collective timed out after {self._timeout:g}s: likely "
+                "mismatched collective calls across ranks (deadlock); "
+                f"ranks {missing or '[]'} had not arrived at this barrier "
+                f"phase (arrived: {arrived})" + self._history_hint()
             ) from exc
 
     def _history_hint(self) -> str:
@@ -433,6 +675,12 @@ class Communicator:
         rec = self._trace_recorder
         if rec is not None:
             rec.count(f"mpi::{record[1]}::bytes", _payload_nbytes(value))
+        inj = self._ctx.injector
+        if inj is not None:
+            # Straggler injection: this rank enters the collective late.
+            action = inj.draw("mpi.collective", self._draw_rank(), trace=rec)
+            if action is not None and action.kind == "stall":
+                time.sleep(float(action.params.get("seconds", 0.001)))
         self._ctx.slots[self._rank] = value
         self._ctx.trace_slots[self._rank] = record
         self._sync()
@@ -529,9 +777,16 @@ class Communicator:
         if color >= 0:
             leader = min(r for _, r in my_group)
             if self._rank == leader:
-                ctx = _Context(len(my_group), trace=self._ctx.trace)
+                ctx = _Context(
+                    len(my_group),
+                    trace=self._ctx.trace,
+                    injector=self._ctx.injector,
+                )
                 with self._ctx.lock:
                     self._ctx.split_results[leader] = ctx
+                    # Registered so a job abort cascades into the child's
+                    # barrier and mailboxes too.
+                    self._ctx.children.append(ctx)
         self._sync()
         result: Communicator | None = None
         if color >= 0:

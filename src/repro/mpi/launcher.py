@@ -2,9 +2,13 @@
 
 ``run_spmd(nranks, program, ...)`` spawns one thread per rank, hands each a
 :class:`~repro.mpi.communicator.Communicator`, and collects per-rank return
-values.  Any rank raising aborts the whole job (remaining ranks are released
-by breaking the shared barrier), mirroring ``MPI_Abort`` semantics closely
-enough for tests.
+values.  Any rank raising aborts the whole job: the shared context tree is
+aborted, so peers blocked in collectives *or* point-to-point receives (on
+the world communicator or any sub-communicator) are released immediately
+with :class:`~repro.mpi.communicator.RankAbort` instead of burning the
+watchdog timeout -- mirroring ``MPI_Abort`` semantics.  The resulting
+:class:`SPMDError` attributes the failure: originating rank(s) with full
+tracebacks, collateral aborted ranks listed separately.
 """
 
 from __future__ import annotations
@@ -13,24 +17,48 @@ import threading
 import traceback
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from repro.mpi.communicator import DEFAULT_TIMEOUT, Communicator, _Context
+from repro.mpi.communicator import (
+    DEFAULT_TIMEOUT,
+    Communicator,
+    RankAbort,
+    _Context,
+    _thread_world_rank,
+)
 from repro.util.timers import TimerRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector, FaultPlan
     from repro.trace import TraceSession
 
 
 class SPMDError(RuntimeError):
-    """A rank of an SPMD program raised; carries per-rank tracebacks."""
+    """A rank of an SPMD program raised; carries per-rank tracebacks.
 
-    def __init__(self, failures: dict[int, BaseException], tracebacks: dict[int, str]):
+    ``failures`` holds only *originating* failures; ranks that were
+    released from a blocking operation because of another rank's failure
+    appear in ``aborted_ranks`` instead of being misreported as failures
+    of their own.
+    """
+
+    def __init__(
+        self,
+        failures: dict[int, BaseException],
+        tracebacks: dict[int, str],
+        aborted_ranks: Sequence[int] = (),
+    ):
         self.failures = failures
         self.tracebacks = tracebacks
+        self.aborted_ranks = sorted(aborted_ranks)
         detail = "\n".join(
             f"--- rank {rank} ---\n{tb}" for rank, tb in sorted(tracebacks.items())
         )
+        collateral = (
+            f"\nranks {self.aborted_ranks} aborted after the failure"
+            if self.aborted_ranks
+            else ""
+        )
         super().__init__(
-            f"{len(failures)} rank(s) failed: {sorted(failures)}\n{detail}"
+            f"{len(failures)} rank(s) failed: {sorted(failures)}{collateral}\n{detail}"
         )
 
 
@@ -42,6 +70,7 @@ def run_spmd(
     rank_args: Sequence[tuple] | None = None,
     trace_collectives: bool = False,
     trace: "TraceSession | None" = None,
+    faults: "FaultPlan | FaultInjector | None" = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``program(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -53,7 +82,10 @@ def run_spmd(
     program:
         The SPMD entry point; receives the rank's communicator first.
     timeout:
-        Deadlock watchdog for blocked collectives/recvs, in seconds.
+        Deadlock watchdog for blocked collectives/recvs, in seconds.  Each
+        rank's :class:`Communicator` takes it as its constructor timeout;
+        a collective that trips it reports which ranks had and had not
+        arrived at the blocked barrier phase.
     rank_args:
         Optional per-rank extra positional arguments (length ``nranks``);
         appended after ``args``.
@@ -71,6 +103,14 @@ def run_spmd(
         :class:`~repro.core.bridge.Bridge`, timers, memory trackers)
         record into the shared session.  ``None`` (the default) leaves
         every hook at a single pointer comparison.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` (or an already-built
+        :class:`~repro.faults.FaultInjector`, when the caller wants to keep
+        the injection log).  Attached to the communicator context, it
+        drives deterministic fault injection at the ``mpi.send`` /
+        ``mpi.collective`` sites and is discoverable by any component via
+        ``comm.fault_injector``.  ``None`` (the default) keeps every fault
+        hook at a single pointer comparison.
 
     Returns
     -------
@@ -81,10 +121,22 @@ def run_spmd(
     if rank_args is not None and len(rank_args) != nranks:
         raise ValueError("rank_args must have one tuple per rank")
 
-    ctx = _Context(nranks, trace=trace_collectives)
+    injector = None
+    if faults is not None:
+        from repro.faults import FaultInjector, FaultPlan
+
+        if isinstance(faults, FaultInjector):
+            injector = faults
+        elif isinstance(faults, FaultPlan):
+            injector = FaultInjector(faults)
+        else:
+            raise TypeError("faults must be a FaultPlan or FaultInjector")
+
+    ctx = _Context(nranks, trace=trace_collectives, injector=injector)
     results: list[Any] = [None] * nranks
     failures: dict[int, BaseException] = {}
     tracebacks: dict[int, str] = {}
+    aborted: set[int] = set()
     lock = threading.Lock()
     # Recorders are created eagerly, before any thread starts: TraceSession
     # lazily materializes per-rank recorders, and doing that from inside
@@ -96,18 +148,26 @@ def run_spmd(
     )
 
     def worker(rank: int) -> None:
+        _thread_world_rank.rank = rank
         comm = Communicator(ctx, rank, timeout=timeout)
         if recorders is not None:
             comm.attach_trace(recorders[rank])
         extra = tuple(rank_args[rank]) if rank_args is not None else ()
         try:
             results[rank] = program(comm, *args, *extra, **kwargs)
+        except RankAbort:
+            # Collateral: released because some other rank already failed.
+            with lock:
+                aborted.add(rank)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with lock:
                 failures[rank] = exc
                 tracebacks[rank] = traceback.format_exc()
-            # Release peers blocked in collectives so the job terminates.
-            ctx.barrier.abort()
+            # Release peers blocked in collectives or receives, on the
+            # world context and every sub-communicator, so the job
+            # terminates with rank attribution instead of hanging until
+            # the watchdog timeout.
+            ctx.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
 
     threads = [
         threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
@@ -119,7 +179,13 @@ def run_spmd(
         t.join()
 
     if failures:
-        raise SPMDError(failures, tracebacks)
+        raise SPMDError(failures, tracebacks, aborted_ranks=aborted)
+    if aborted:  # pragma: no cover - defensive; abort implies a failure
+        raise SPMDError(
+            {},
+            {},
+            aborted_ranks=aborted,
+        )
     return results
 
 

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.injector import InjectedWriteError
 from repro.util.decomp import Extent
 
 
@@ -87,6 +89,9 @@ class BPWriter:
         if data.shape != extent.shape:
             raise ValueError("block shape must match extent")
         raw = data.tobytes()
+        inj = getattr(self.comm, "fault_injector", None)
+        if inj is not None:
+            self._consult_injector(inj, raw)
         self._fh.write(raw)
         self._local_records.append(
             BPBlockRecord(
@@ -101,6 +106,40 @@ class BPWriter:
         )
         self._offset += len(raw)
         return len(raw)
+
+    def _consult_injector(self, inj, raw: bytes) -> None:
+        """Resolve an injected filesystem fault for this write call.
+
+        A partial write puts real bytes in the subfile before failing, then
+        rewinds and truncates the handle back to the record's start offset
+        -- so retrying the same ``write`` is idempotent (the block record
+        and ``_offset`` only advance on success).
+        """
+        action = inj.draw(
+            "storage.write",
+            self.comm._draw_rank(),
+            step=self._step,
+            trace=getattr(self.comm, "trace_recorder", None),
+        )
+        if action is None:
+            return
+        if action.kind == "write_fail":
+            raise InjectedWriteError(
+                f"injected write failure (rank {self.comm.rank}, "
+                f"step {self._step})"
+            )
+        if action.kind == "write_partial":
+            fraction = float(action.params.get("fraction", 0.5))
+            self._fh.write(raw[: int(len(raw) * fraction)])
+            self._fh.flush()
+            self._fh.seek(self._offset)
+            self._fh.truncate()
+            raise InjectedWriteError(
+                f"injected partial write (rank {self.comm.rank}, "
+                f"step {self._step})"
+            )
+        if action.kind == "write_slow":
+            time.sleep(float(action.params.get("seconds", 0.002)))
 
     def end_step(self) -> None:
         """Advance: exchange metadata so the step is globally visible.

@@ -13,10 +13,16 @@ I/O slower than file-per-process in Table 1.
 from __future__ import annotations
 
 import json
+import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults.injector import InjectedWriteError
 from repro.util.decomp import Extent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import RetryPolicy
 
 _HEADER_BYTES = 512
 
@@ -34,6 +40,7 @@ def mpiio_write_collective(
     block: np.ndarray,
     extent: Extent,
     global_dims: tuple[int, int, int],
+    retry: "RetryPolicy | None" = None,
 ) -> int:
     """Collectively write per-rank blocks into one canonical shared file.
 
@@ -41,6 +48,12 @@ def mpiio_write_collective(
     the header; all ranks then write their subarray rows at computed
     offsets.  A barrier separates the two phases, standing in for the
     synchronization inside ``MPI_File_write_all``.
+
+    Injected storage faults (``storage.write`` site) hit the per-rank data
+    phase only; because every row lands at an absolute offset, re-running
+    the phase is idempotent.  ``retry`` retries *that phase* under the
+    policy -- never the whole collective, whose barriers may not be
+    re-entered by a single rank.
     """
     data = np.ascontiguousarray(block)
     if data.shape != extent.shape:
@@ -53,17 +66,54 @@ def mpiio_write_collective(
             fh.write(_header(global_dims, data.dtype))
             fh.truncate(total)
     comm.barrier()
-    written = 0
-    with open(path, "r+b") as fh:
-        for li, gi in enumerate(range(extent.i0, extent.i1 + 1)):
-            for lj, gj in enumerate(range(extent.j0, extent.j1 + 1)):
-                offset = _HEADER_BYTES + ((gi * ny + gj) * nz + extent.k0) * itemsize
-                fh.seek(offset)
-                row = data[li, lj].tobytes()
-                fh.write(row)
-                written += len(row)
+    inj = getattr(comm, "fault_injector", None)
+
+    def _data_phase() -> int:
+        if inj is not None:
+            _consult_injector(comm, inj)
+        written = 0
+        with open(path, "r+b") as fh:
+            for li, gi in enumerate(range(extent.i0, extent.i1 + 1)):
+                for lj, gj in enumerate(range(extent.j0, extent.j1 + 1)):
+                    offset = _HEADER_BYTES + ((gi * ny + gj) * nz + extent.k0) * itemsize
+                    fh.seek(offset)
+                    row = data[li, lj].tobytes()
+                    fh.write(row)
+                    written += len(row)
+        return written
+
+    if retry is not None:
+        from repro.faults.policies import retry_call
+
+        written = retry_call(
+            _data_phase,
+            retry,
+            key=f"mpiio:{comm.rank}",
+            trace=getattr(comm, "trace_recorder", None),
+        )
+    else:
+        written = _data_phase()
     comm.barrier()
     return written
+
+
+def _consult_injector(comm, inj) -> None:
+    """Resolve an injected fault before a rank's shared-file data phase."""
+    action = inj.draw(
+        "storage.write",
+        comm._draw_rank(),
+        trace=getattr(comm, "trace_recorder", None),
+    )
+    if action is None:
+        return
+    if action.kind in ("write_fail", "write_partial"):
+        # Partial and failed writes are equivalent here: rows land at
+        # absolute offsets, so any prefix is simply overwritten on retry.
+        raise InjectedWriteError(
+            f"injected {action.kind} in shared-file data phase (rank {comm.rank})"
+        )
+    if action.kind == "write_slow":
+        time.sleep(float(action.params.get("seconds", 0.002)))
 
 
 def mpiio_read_block(path, extent: Extent) -> np.ndarray:

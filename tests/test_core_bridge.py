@@ -90,6 +90,26 @@ class TestBridgeProtocol:
 
         run_spmd(1, prog)
 
+    def test_finalize_idempotent(self):
+        """Regression: double finalize (teardown paths love to call it
+        twice) must not re-run analyses' finalize; the second call returns
+        the first call's results."""
+
+        def prog(comm):
+            a = RecordingAnalysis()
+            b = Bridge(comm, _mk_adaptor(comm, np.zeros((3, 3, 3))))
+            b.add_analysis(a)
+            b.initialize()
+            b.execute(0.1, 1)
+            first = b.finalize()
+            second = b.finalize()
+            fini_calls = sum(1 for e in a.events if e == ("fini",))
+            return first, second, first is second, fini_calls
+
+        first, second, same_obj, fini_calls = run_spmd(1, prog)[0]
+        assert first == second and same_obj
+        assert fini_calls == 1
+
     def test_execute_after_finalize_raises(self):
         def prog(comm):
             b = Bridge(comm, _mk_adaptor(comm, np.zeros((3, 3, 3))))

@@ -1,0 +1,148 @@
+"""Tests for the end-to-end chaos harness (repro.faults.chaos)."""
+
+import json
+import os
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, chaos_plan
+from repro.faults.chaos import render_report, run_chaos
+
+
+@pytest.fixture(scope="module")
+def chaos_pair(tmp_path_factory):
+    """Two identical seed-42 runs (plus their reports), shared module-wide:
+    chaos runs are the expensive part of this file."""
+    d1 = str(tmp_path_factory.mktemp("chaos1"))
+    d2 = str(tmp_path_factory.mktemp("chaos2"))
+    r1 = run_chaos(seed=42, ranks=3, steps=8, out_dir=d1, timeout=60.0)
+    r2 = run_chaos(seed=42, ranks=3, steps=8, out_dir=d2, timeout=60.0)
+    return (d1, r1), (d2, r2)
+
+
+class TestChaosRun:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_chaos(ranks=1, out_dir=str(tmp_path))
+        with pytest.raises(ValueError):
+            run_chaos(steps=2, out_dir=str(tmp_path))
+
+    def test_completes_with_all_steps_accounted(self, chaos_pair):
+        (_, report), _ = chaos_pair
+        acct = report["accounting"]
+        assert report["completed"]
+        assert (
+            acct["staged_steps"] + acct["degraded_steps"] + acct["skipped_steps"]
+            == report["steps"]
+        )
+        assert 0 <= acct["lost_in_flight"] <= 1
+
+    def test_structural_faults_recovered(self, chaos_pair):
+        """The guaranteed rank death and endpoint disconnect both happen
+        and both are absorbed."""
+        (_, report), _ = chaos_pair
+        assert report["accounting"]["deaths"] == 1
+        assert report["accounting"]["checkpoint_restores"] == 1
+        assert report["endpoint"]["disconnected_at_step"] is not None
+        assert report["accounting"]["degraded_steps"] > 0
+        assert report["fault_counts"]["sim.step::die"] == 1
+        assert report["fault_counts"]["staging.endpoint::disconnect"] == 1
+
+    def test_writer_accounting_uniform(self, chaos_pair):
+        """The degrade decision is collective: every writer must report the
+        identical staged/degraded/skipped split."""
+        (_, report), _ = chaos_pair
+        splits = {
+            (w["staged_steps"], w["degraded_steps"], w["skipped_steps"])
+            for w in report["writers"]
+        }
+        assert len(splits) == 1
+
+    def test_artifacts_written(self, chaos_pair):
+        (out_dir, report), _ = chaos_pair
+        with open(os.path.join(out_dir, "recovery_report.json")) as fh:
+            on_disk = json.load(fh)
+        assert on_disk == json.loads(json.dumps(report))
+        with open(os.path.join(out_dir, "histograms.json")) as fh:
+            hists = json.load(fh)
+        assert len(hists) == report["steps"]
+        assert all(sum(h["counts"]) > 0 for h in hists)
+        pngs = [
+            f
+            for sub in ("staged", "inline")
+            if os.path.isdir(os.path.join(out_dir, sub))
+            for f in os.listdir(os.path.join(out_dir, sub))
+            if f.endswith(".png")
+        ]
+        assert pngs
+
+    def test_same_seed_byte_identical(self, chaos_pair):
+        """The hard determinism requirement: same seed, same schedule, same
+        recovery actions, byte-identical artifacts."""
+        (d1, r1), (d2, r2) = chaos_pair
+        assert r1 == r2
+        for name in ("recovery_report.json", "histograms.json"):
+            with open(os.path.join(d1, name), "rb") as f1, open(
+                os.path.join(d2, name), "rb"
+            ) as f2:
+                assert f1.read() == f2.read(), name
+        for sub in ("staged", "inline"):
+            p1, p2 = os.path.join(d1, sub), os.path.join(d2, sub)
+            assert os.path.isdir(p1) == os.path.isdir(p2)
+            if not os.path.isdir(p1):
+                continue
+            assert sorted(os.listdir(p1)) == sorted(os.listdir(p2))
+            for png in sorted(os.listdir(p1)):
+                with open(os.path.join(p1, png), "rb") as f1, open(
+                    os.path.join(p2, png), "rb"
+                ) as f2:
+                    assert f1.read() == f2.read(), f"{sub}/{png}"
+
+    def test_different_seed_differs(self, chaos_pair, tmp_path):
+        (_, r1), _ = chaos_pair
+        r3 = run_chaos(seed=7, ranks=3, steps=8, out_dir=str(tmp_path), timeout=60.0)
+        assert r3["fault_schedule"] != r1["fault_schedule"]
+
+    def test_fault_free_plan_stages_everything(self, tmp_path):
+        """With an empty plan the resilient pipeline is pure overhead: all
+        steps staged, none degraded, nothing lost."""
+        report = run_chaos(
+            seed=0,
+            ranks=3,
+            steps=4,
+            out_dir=str(tmp_path),
+            plan=FaultPlan(seed=0),
+            timeout=60.0,
+        )
+        acct = report["accounting"]
+        assert acct["staged_steps"] == 4
+        assert acct["degraded_steps"] == acct["skipped_steps"] == 0
+        assert acct["lost_in_flight"] == 0
+        assert acct["deaths"] == 0
+        assert report["endpoint"]["steps_analyzed"] == 4
+
+    def test_render_report(self, chaos_pair):
+        (_, report), _ = chaos_pair
+        text = render_report(report)
+        assert "seed=42" in text
+        assert "all steps accounted for: yes" in text
+
+
+class TestChaosEdgePlans:
+    def test_endpoint_death_only(self, tmp_path):
+        """Kill just the endpoint: the job must finish in-line with every
+        step accounted for and no hang (graceful-degradation contract)."""
+        plan = FaultPlan(
+            seed=5,
+            events=(FaultEvent("staging.endpoint", "disconnect", rank=0, step=1),),
+        )
+        report = run_chaos(
+            seed=5, ranks=3, steps=5, out_dir=str(tmp_path), plan=plan, timeout=60.0
+        )
+        acct = report["accounting"]
+        assert report["completed"]
+        assert acct["staged_steps"] + acct["degraded_steps"] + acct["skipped_steps"] == 5
+        assert acct["degraded_steps"] >= 1
+
+    def test_chaos_plan_used_by_default_is_seeded(self):
+        assert chaos_plan(42, 2, 8) == chaos_plan(42, 2, 8)

@@ -4,6 +4,8 @@ Everything downstream (histogram reductions, autocorrelation top-k merges,
 image compositing, ADIOS staging) rests on these semantics.
 """
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -348,6 +350,95 @@ class TestFailurePropagation:
 
         with pytest.raises(SPMDError):
             run_spmd(2, prog, timeout=0.3)
+
+    def test_failure_unblocks_peers_without_waiting_for_timeout(self):
+        """One rank raising must abort its peers' blocking receives
+        immediately -- not strand them until the watchdog timeout."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("dead on arrival")
+            comm.recv(source=0)  # would block for the full timeout
+
+        t0 = time.perf_counter()
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(3, prog, timeout=60.0)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 10.0, f"peers hung {elapsed:.1f}s behind a dead rank"
+        # The real error is attributed to rank 0; the aborted peers are
+        # reported as collateral, not as failures of their own.
+        assert set(ei.value.failures) == {0}
+        assert ei.value.aborted_ranks == [1, 2]
+        assert "dead on arrival" in str(ei.value)
+        assert "ranks [1, 2] aborted after the failure" in str(ei.value)
+
+    def test_failure_unblocks_peers_stuck_in_collective(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("no barrier for me")
+            comm.barrier()
+
+        t0 = time.perf_counter()
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, timeout=60.0)
+        assert time.perf_counter() - t0 < 10.0
+        assert set(ei.value.failures) == {1}
+        assert ei.value.aborted_ranks == [0]
+
+    def test_rank_abort_exported(self):
+        assert issubclass(mpi.RankAbort, MPIError)
+
+
+class TestConfigurableTimeouts:
+    def test_collective_timeout_names_arrived_and_missing_ranks(self):
+        """The timeout diagnostic must say which ranks reached the
+        collective and which did not -- the per-rank attribution a 120s
+        opaque hang never gave."""
+
+        def prog(comm):
+            comm.timeout = 0.3
+            if comm.rank != 1:
+                comm.barrier()
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(3, prog, timeout=5.0)
+        msgs = [str(e) for e in ei.value.failures.values()]
+        assert any("ranks [1] had not arrived" in m for m in msgs)
+        assert any("arrived: [0, 2]" in m for m in msgs)
+
+    def test_communicator_timeout_validated(self):
+        def prog(comm):
+            assert comm.timeout > 0
+            comm.timeout = 1.5
+            assert comm.timeout == 1.5
+            with pytest.raises(ValueError):
+                comm.timeout = 0
+
+        run_spmd(1, prog)
+
+    def test_recv_timeout_override(self):
+        """A per-call timeout shorter than the communicator's governs, and
+        the communicator stays usable after the timeout."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                with pytest.raises(MPIError):
+                    comm.recv(source=1, timeout=0.2)
+            comm.barrier()
+            if comm.rank == 1:
+                comm.send("late", dest=0)
+                return None
+            return comm.recv(source=1)
+
+        out = run_spmd(2, prog, timeout=10.0)
+        assert out[0] == "late"
+
+    def test_split_inherits_timeout(self):
+        def prog(comm):
+            comm.timeout = 2.5
+            return comm.split(color=0).timeout
+
+        assert run_spmd(2, prog) == [2.5, 2.5]
 
 
 class TestReduceOps:
