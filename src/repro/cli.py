@@ -99,6 +99,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=3,
         help="steps between simulation checkpoints",
     )
+    chaos.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help=(
+            "SPMD execution backend (default: REPRO_SPMD_BACKEND or "
+            "thread); reports are byte-identical across backends"
+        ),
+    )
     return parser
 
 
@@ -113,6 +122,7 @@ def _chaos_main(args) -> int:
             out_dir=args.out,
             ready_timeout=args.ready_timeout,
             checkpoint_interval=args.checkpoint_interval,
+            backend=args.backend,
         )
     except ChaosError as exc:
         print(f"chaos run failed accounting checks: {exc}", file=sys.stderr)

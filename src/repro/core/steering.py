@@ -24,6 +24,7 @@ bridge's steering return value.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -51,6 +52,11 @@ class LiveConnection:
     def __init__(self, max_frames: int = 16) -> None:
         if max_frames <= 0:
             raise ValueError("max_frames must be positive")
+        # The connection is an in-memory channel: both endpoints must live
+        # in the process that built it.  On the process SPMD backend each
+        # rank would get a private copy and every publish would silently
+        # vanish, so any use from another process fails fast instead.
+        self._owner_pid = os.getpid()
         self._lock = threading.Condition()
         self._updates: list[dict[str, Any]] = []
         self._frames: list[Frame] = []
@@ -58,9 +64,21 @@ class LiveConnection:
         self._max_frames = max_frames
         self._stop = False
 
+    def _check_same_process(self) -> None:
+        if os.getpid() != self._owner_pid:
+            raise RuntimeError(
+                "LiveConnection is an in-memory, shared-address-space channel "
+                "and cannot cross a process boundary: this rank runs on the "
+                "process SPMD backend in a different process from the "
+                "controller. Run steering jobs on the thread backend "
+                '(run_spmd(..., backend="thread")) or bridge the connection '
+                "over a real transport."
+            )
+
     # -- controller side -----------------------------------------------------
     def submit_update(self, **parameters: Any) -> None:
         """Queue a parameter change; applied at the next SENSEI step."""
+        self._check_same_process()
         if not parameters:
             raise ValueError("submit_update requires at least one parameter")
         with self._lock:
@@ -68,15 +86,18 @@ class LiveConnection:
             self._lock.notify_all()
 
     def request_stop(self) -> None:
+        self._check_same_process()
         with self._lock:
             self._stop = True
 
     def latest_frame(self) -> Frame | None:
+        self._check_same_process()
         with self._lock:
             return self._frames[-1] if self._frames else None
 
     def wait_for_frame(self, min_step: int, timeout: float = 30.0) -> Frame | None:
         """Block until a frame at/after ``min_step`` is published."""
+        self._check_same_process()
         import time
 
         deadline = time.monotonic() + timeout
@@ -91,20 +112,24 @@ class LiveConnection:
                 self._lock.wait(remaining)
 
     def metrics(self) -> list[tuple[int, float, float]]:
+        self._check_same_process()
         with self._lock:
             return list(self._metrics)
 
     # -- simulation side -------------------------------------------------------
     def drain_updates(self) -> list[dict[str, Any]]:
+        self._check_same_process()
         with self._lock:
             out, self._updates = self._updates, []
             return out
 
     def stop_requested(self) -> bool:
+        self._check_same_process()
         with self._lock:
             return self._stop
 
     def publish_frame(self, frame: Frame) -> None:
+        self._check_same_process()
         with self._lock:
             self._frames.append(frame)
             if len(self._frames) > self._max_frames:
@@ -112,6 +137,7 @@ class LiveConnection:
             self._lock.notify_all()
 
     def publish_metric(self, step: int, time_: float, value: float) -> None:
+        self._check_same_process()
         with self._lock:
             self._metrics.append((step, time_, value))
             self._lock.notify_all()

@@ -61,13 +61,17 @@ def run_chaos(
     global_dims: tuple[int, int, int] = (16, 16, 16),
     timeout: float = 60.0,
     plan: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Run the seeded chaos job; returns (and writes) the recovery report.
 
     ``ranks`` is the world size: ``ranks - 1`` writers plus one staging
     endpoint.  ``plan`` overrides the default :func:`chaos_plan` schedule.
-    Raises :class:`ChaosError` if the job completes but a step goes
-    unaccounted for.
+    ``backend`` selects the SPMD execution backend ("thread"/"process");
+    fault draws are counter-hashed per (site, rank, occurrence), so the
+    recovery report and artifacts are byte-identical across backends for
+    the same seed.  Raises :class:`ChaosError` if the job completes but a
+    step goes unaccounted for.
     """
     if ranks < 2:
         raise ValueError("chaos needs at least 2 ranks (1 writer + 1 endpoint)")
@@ -140,6 +144,7 @@ def run_chaos(
         faults=injector,
         resilience_factory=resilience_factory,
         trace=trace,
+        backend=backend,
     )
 
     report = _build_report(

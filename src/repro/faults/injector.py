@@ -39,6 +39,12 @@ class InjectedRankDeath(InjectedFault):
         self.rank = rank
         self.step = step
 
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the
+        # formatted message; the process backend ships these across rank
+        # boundaries, so reconstruct from (rank, step) instead.
+        return (type(self), (self.rank, self.step))
+
 
 class FaultInjector:
     """Mutable draw state + injection log over one immutable :class:`FaultPlan`.
@@ -104,6 +110,18 @@ class FaultInjector:
             trace.count("fault::injected", 1)
             trace.count(f"fault::{site}::{action.kind}", 1)
         return action
+
+    def absorb_log(self, entries: list[dict]) -> None:
+        """Merge injection-log entries drawn by another process.
+
+        The process backend gives every rank process its own injector built
+        from the same plan; per-(site, rank) draws are partitioned by rank,
+        so folding the per-rank logs into the launcher's injector yields the
+        same deterministic :meth:`schedule` the shared-injector thread
+        backend produces.
+        """
+        with self._lock:
+            self._log.extend(dict(e) for e in entries)
 
     # -- reporting ---------------------------------------------------------
     @property

@@ -512,6 +512,7 @@ def run_flexpath_job(
     faults: "FaultPlan | FaultInjector | None" = None,
     resilience_factory: Callable[[Communicator], StagingResilience] | None = None,
     trace: "TraceSession | None" = None,
+    backend: "str | None" = None,
 ) -> FlexPathJobResult:
     """Run a complete staged job: writers + endpoint in one SPMD world.
 
@@ -523,7 +524,10 @@ def run_flexpath_job(
     :func:`run_endpoint`).
 
     ``faults`` threads a :class:`~repro.faults.FaultPlan` through the whole
-    job (fabric, storage, staging sites).  ``resilience_factory(group)``
+    job (fabric, storage, staging sites).  ``backend`` selects the SPMD
+    execution backend ("thread"/"process", see ``run_spmd``); the staged
+    data path (per-rank BP subfiles, pipe/shared-memory fabric) is
+    backend-agnostic.  ``resilience_factory(group)``
     builds each writer rank's :class:`StagingResilience`; it requires
     ``n_endpoints == 1`` -- with several endpoints a *partial* endpoint
     death would leave surviving endpoints blocked on writers that degraded,
@@ -574,7 +578,9 @@ def run_flexpath_job(
             ),
         )
 
-    results = run_spmd(total, job, timeout=timeout, faults=faults, trace=trace)
+    results = run_spmd(
+        total, job, timeout=timeout, faults=faults, trace=trace, backend=backend
+    )
     return FlexPathJobResult(
         writer_results=[r for kind, r in results if kind == "writer"],
         endpoint_results=[r for kind, r in results if kind == "endpoint"],

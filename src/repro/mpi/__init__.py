@@ -1,12 +1,15 @@
-"""Thread-backed simulated MPI runtime.
+"""Simulated MPI runtime with thread- and process-backed execution.
 
 The paper's experiments are MPI programs (miniapp in C++/MPI, PHASTA,
 AVF-LESLIE, Nyx).  This environment has no MPI implementation, so this
 package provides a faithful SPMD substrate: every simulated rank runs the
-*same program* in its own thread against a :class:`Communicator` that
-implements point-to-point messaging and the collectives the paper's codes
-rely on (barrier, bcast, reduce, allreduce, gather/allgather, scatter,
-alltoall, split).
+*same program* against a :class:`Communicator` that implements
+point-to-point messaging and the collectives the paper's codes rely on
+(barrier, bcast, reduce, allreduce, gather/allgather, scatter, alltoall,
+split).  Ranks execute on one of two interchangeable backends (see
+``run_spmd(backend=...)``): threads sharing the process (the default), or
+one OS process per rank with pipe + shared-memory transport
+(:mod:`repro.mpi.process_backend`) for true concurrency.
 
 Semantics follow MPI closely where it matters for correctness studies:
 
@@ -32,10 +35,18 @@ from repro.mpi.communicator import (
     MPIError,
     RankAbort,
 )
-from repro.mpi.launcher import SPMDError, aggregate_timer_snapshots, run_spmd
+from repro.mpi.launcher import (
+    BACKENDS,
+    SPMDError,
+    aggregate_timer_snapshots,
+    resolve_backend,
+    run_spmd,
+)
 from repro.mpi.halo import HaloExchanger
 
 __all__ = [
+    "BACKENDS",
+    "resolve_backend",
     "HaloExchanger",
     "Communicator",
     "MPIError",

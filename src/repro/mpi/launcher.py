@@ -1,18 +1,36 @@
-"""SPMD launcher: ``mpiexec -n N`` for the thread-backed runtime.
+"""SPMD launcher: ``mpiexec -n N`` for the simulated runtime.
 
-``run_spmd(nranks, program, ...)`` spawns one thread per rank, hands each a
+``run_spmd(nranks, program, ...)`` spawns one worker per rank, hands each a
 :class:`~repro.mpi.communicator.Communicator`, and collects per-rank return
-values.  Any rank raising aborts the whole job: the shared context tree is
+values.  Two execution backends provide the workers:
+
+- ``backend="thread"`` (the default): one thread per rank sharing the
+  process, with slot-exchange collectives and in-process mailboxes.
+- ``backend="process"``: one OS process per rank
+  (:mod:`repro.mpi.process_backend`), pickled-envelope pipe transport with
+  bulk payloads mapped through ``multiprocessing.shared_memory`` -- real
+  concurrency for numpy-heavy ranks, at process-spawn cost.
+
+The backend can also be selected job-wide with the ``REPRO_SPMD_BACKEND``
+environment variable; an explicit ``backend=`` argument wins.  Program
+results, collective semantics, trace records, and fault injection schedules
+are observably equivalent across backends (the test suite's equivalence
+matrix asserts bit-identical results); only timing differs.
+
+Any rank raising aborts the whole job: the shared context tree is
 aborted, so peers blocked in collectives *or* point-to-point receives (on
 the world communicator or any sub-communicator) are released immediately
 with :class:`~repro.mpi.communicator.RankAbort` instead of burning the
 watchdog timeout -- mirroring ``MPI_Abort`` semantics.  The resulting
 :class:`SPMDError` attributes the failure: originating rank(s) with full
-tracebacks, collateral aborted ranks listed separately.
+tracebacks, collateral aborted ranks listed separately.  Under the process
+backend the abort cascade also *terminates* every still-live rank process
+-- a failed job never leaves orphans.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import traceback
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -62,6 +80,20 @@ class SPMDError(RuntimeError):
         )
 
 
+#: Execution backends ``run_spmd`` accepts.
+BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend: "str | None" = None) -> str:
+    """The effective backend: explicit arg > ``REPRO_SPMD_BACKEND`` > thread."""
+    choice = backend or os.environ.get("REPRO_SPMD_BACKEND") or "thread"
+    if choice not in BACKENDS:
+        raise ValueError(
+            f"unknown SPMD backend {choice!r}; expected one of {BACKENDS}"
+        )
+    return choice
+
+
 def run_spmd(
     nranks: int,
     program: Callable[..., Any],
@@ -71,6 +103,8 @@ def run_spmd(
     trace_collectives: bool = False,
     trace: "TraceSession | None" = None,
     faults: "FaultPlan | FaultInjector | None" = None,
+    backend: "str | None" = None,
+    start_method: "str | None" = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``program(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -111,6 +145,17 @@ def run_spmd(
         ``mpi.collective`` sites and is discoverable by any component via
         ``comm.fault_injector``.  ``None`` (the default) keeps every fault
         hook at a single pointer comparison.
+    backend:
+        ``"thread"`` or ``"process"``; ``None`` defers to the
+        ``REPRO_SPMD_BACKEND`` environment variable and then the thread
+        default.  The process backend requires picklable program return
+        values (they cross a real address-space boundary).
+    start_method:
+        Process-backend only: ``multiprocessing`` start method ("fork",
+        "spawn", "forkserver"); ``None`` defers to
+        ``REPRO_SPMD_START_METHOD`` and then fork where available.  Spawn
+        and forkserver additionally require the *program* to be picklable
+        (a module-level function, not a closure).
 
     Returns
     -------
@@ -131,6 +176,22 @@ def run_spmd(
             injector = FaultInjector(faults)
         else:
             raise TypeError("faults must be a FaultPlan or FaultInjector")
+
+    if resolve_backend(backend) == "process":
+        from repro.mpi.process_backend import run_spmd_process
+
+        return run_spmd_process(
+            nranks,
+            program,
+            args,
+            kwargs,
+            timeout=timeout,
+            rank_args=rank_args,
+            trace_collectives=trace_collectives,
+            trace=trace,
+            injector=injector,
+            start_method=start_method,
+        )
 
     ctx = _Context(nranks, trace=trace_collectives, injector=injector)
     results: list[Any] = [None] * nranks

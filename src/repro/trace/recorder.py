@@ -162,6 +162,21 @@ class TraceRecorder:
         """Latest value of a counter/gauge (0.0 if never sampled)."""
         return self._totals.get(name, 0.0)
 
+    def absorb(self, spans, counters, totals) -> None:
+        """Merge deltas recorded by another process's copy of this recorder.
+
+        The process backend hands each rank process a (pickled or forked)
+        copy of that rank's recorder; mutations stay in the child, so the
+        worker ships back the spans/counters it added plus per-counter total
+        *deltas*, and the launcher folds them in here.  The epoch is
+        ``perf_counter``-based and system-wide, so child span times are
+        already on this recorder's timeline.
+        """
+        self.spans.extend(spans)
+        self.counters.extend(counters)
+        for name, delta in totals.items():
+            self._totals[name] = self._totals.get(name, 0.0) + delta
+
     def counter_names(self) -> list[str]:
         return sorted(self._totals)
 

@@ -1,0 +1,25 @@
+"""Module-level SPMD programs for process-backend start-method tests.
+
+The ``spawn`` and ``forkserver`` start methods pickle the program by
+reference, so it must be importable at module scope -- closures (what most
+tests use, under ``fork``) do not qualify.  Keep these small and
+deterministic; they exist to prove spawn-safety, not to exercise features.
+"""
+
+import numpy as np
+
+
+def ring_allreduce(comm, scale=1.0):
+    """One send/recv ring pass plus an allreduce; returns plain floats."""
+    a = (np.arange(32, dtype=np.float64) + comm.rank) * scale
+    comm.send(a, (comm.rank + 1) % comm.size, tag=3)
+    r = comm.recv(source=(comm.rank - 1) % comm.size, tag=3)
+    total = comm.allreduce(float(r.sum()))
+    return float(total)
+
+
+def rank_pid(comm):
+    """Each rank's PID, for asserting real process-per-rank execution."""
+    import os
+
+    return comm.rank, os.getpid()

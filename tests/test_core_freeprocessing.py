@@ -79,26 +79,31 @@ class TestInterception:
         assert not (tmp_path / "empty").exists()
 
     def test_analyses_get_correct_times(self, tmp_path):
-        times = []
-
         from repro.core.adaptors import AnalysisAdaptor
 
         class Probe(AnalysisAdaptor):
+            def __init__(self):
+                super().__init__()
+                self.times = []
+
             def execute(self, data):
-                times.append((data.get_data_time_step(), data.get_data_time()))
+                self.times.append((data.get_data_time_step(), data.get_data_time()))
                 return True
 
         def prog(comm):
             sim = OscillatorSimulation(comm, DIMS, default_oscillators(), dt=0.5)
-            writer = InterceptingWriter(comm, [Probe()])
+            probe = Probe()
+            writer = InterceptingWriter(comm, [probe])
             ad = sim.make_data_adaptor()
             sim.advance()
             mesh = ad.get_mesh()
             mesh.add_array(Association.POINT, ad.get_array(Association.POINT, "data"))
             writer.write_timestep(str(tmp_path), sim.step, sim.time, mesh, "data")
+            # Returned, not closed over: the program may run in another
+            # process, where closure mutation never reaches the launcher.
+            return probe.times
 
-        run_spmd(1, prog)
-        assert times == [(1, 0.5)]
+        assert run_spmd(1, prog) == [[(1, 0.5)]]
 
     def test_intercepted_arrays_are_copies(self, tmp_path):
         """The analyses never alias simulation memory through this path."""

@@ -5,6 +5,15 @@ import threading
 import numpy as np
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _thread_backend(monkeypatch):
+    """Live steering is an in-memory, shared-address-space channel, so its
+    tests always run on the thread backend; the process backend refuses a
+    LiveConnection with a diagnostic (covered in
+    test_mpi_process_backend.py)."""
+    monkeypatch.setenv("REPRO_SPMD_BACKEND", "thread")
+
 from repro.apps.phasta_proxy import PhastaSimulation, PhastaSliceRender
 from repro.core import Bridge, Frame, LiveConnection, SteeringAnalysis
 from repro.miniapp import OscillatorSimulation

@@ -1,4 +1,10 @@
-"""Tests for the end-to-end chaos harness (repro.faults.chaos)."""
+"""Tests for the end-to-end chaos harness (repro.faults.chaos).
+
+Parametrized over both execution backends (``spmd_backend``): the chaos
+determinism contract -- same seed, same schedule, byte-identical artifacts
+-- must hold per backend, and ``TestCrossBackend`` closes the loop by
+asserting the artifacts are byte-identical *across* backends too.
+"""
 
 import json
 import os
@@ -9,15 +15,28 @@ from repro.faults import FaultEvent, FaultPlan, chaos_plan
 from repro.faults.chaos import render_report, run_chaos
 
 
+#: Backend name -> (out_dir, report) of that backend's seed-42 run, filled
+#: by ``chaos_pair`` as the module executes under each backend param; the
+#: cross-backend byte-identity test compares the two entries.
+_RUN_BY_BACKEND: dict = {}
+
+
 @pytest.fixture(scope="module")
-def chaos_pair(tmp_path_factory):
+def chaos_pair(tmp_path_factory, spmd_backend):
     """Two identical seed-42 runs (plus their reports), shared module-wide:
     chaos runs are the expensive part of this file."""
-    d1 = str(tmp_path_factory.mktemp("chaos1"))
-    d2 = str(tmp_path_factory.mktemp("chaos2"))
+    d1 = str(tmp_path_factory.mktemp(f"chaos1-{spmd_backend}"))
+    d2 = str(tmp_path_factory.mktemp(f"chaos2-{spmd_backend}"))
     r1 = run_chaos(seed=42, ranks=3, steps=8, out_dir=d1, timeout=60.0)
     r2 = run_chaos(seed=42, ranks=3, steps=8, out_dir=d2, timeout=60.0)
+    _RUN_BY_BACKEND[spmd_backend] = (d1, r1)
     return (d1, r1), (d2, r2)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _backend(spmd_backend):
+    """Run this whole module under each execution backend."""
+    return spmd_backend
 
 
 class TestChaosRun:
@@ -126,6 +145,36 @@ class TestChaosRun:
         text = render_report(report)
         assert "seed=42" in text
         assert "all steps accounted for: yes" in text
+
+
+class TestCrossBackend:
+    def test_artifacts_byte_identical_across_backends(self, chaos_pair):
+        """The headline equivalence claim for the chaos pipeline: for the
+        same seed, the recovery report, histogram history, and every
+        rendered PNG are byte-identical whether ranks were threads or OS
+        processes.  Compares the cached seed-42 run of each backend, so it
+        resolves on the second (process) pass of the module."""
+        if len(_RUN_BY_BACKEND) < 2:
+            pytest.skip("needs both backend runs; compared on the second pass")
+        dt, rt = _RUN_BY_BACKEND["thread"]
+        dp, rp = _RUN_BY_BACKEND["process"]
+        assert rt == rp
+        for name in ("recovery_report.json", "histograms.json"):
+            with open(os.path.join(dt, name), "rb") as f1, open(
+                os.path.join(dp, name), "rb"
+            ) as f2:
+                assert f1.read() == f2.read(), name
+        for sub in ("staged", "inline"):
+            p1, p2 = os.path.join(dt, sub), os.path.join(dp, sub)
+            assert os.path.isdir(p1) == os.path.isdir(p2)
+            if not os.path.isdir(p1):
+                continue
+            assert sorted(os.listdir(p1)) == sorted(os.listdir(p2))
+            for png in sorted(os.listdir(p1)):
+                with open(os.path.join(p1, png), "rb") as f1, open(
+                    os.path.join(p2, png), "rb"
+                ) as f2:
+                    assert f1.read() == f2.read(), f"{sub}/{png}"
 
 
 class TestChaosEdgePlans:

@@ -1,7 +1,19 @@
-"""Tests for the ADIOS (BP + FlexPath staging) and GLEAN emulations."""
+"""Tests for the ADIOS (BP + FlexPath staging) and GLEAN emulations.
+
+Parametrized over both execution backends (``spmd_backend``): BP subfile
+writes, FlexPath staging rounds, GLEAN aggregation, and the rendered
+Catalyst PNGs must come out identical whether ranks are threads or OS
+processes.
+"""
 
 import numpy as np
 import pytest
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _backend(spmd_backend):
+    """Run this whole module under each execution backend."""
+    return spmd_backend
 
 from repro.analysis import HistogramAnalysis
 from repro.analysis.autocorrelation import AutocorrelationAnalysis

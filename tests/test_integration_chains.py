@@ -157,7 +157,8 @@ class TestSteeredWithInfrastructure:
                 return png_before, cat.last_png, sim.dt
             return None
 
-        before, after, dt = run_spmd(2, prog)[0]
+        # Steering rides an in-memory LiveConnection: thread backend only.
+        before, after, dt = run_spmd(2, prog, backend="thread")[0]
         assert dt == 1.0
         assert not np.array_equal(decode_png(before), decode_png(after))
 

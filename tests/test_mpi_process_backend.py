@@ -1,0 +1,388 @@
+"""Tests specific to the process-backed SPMD runtime.
+
+The equivalence matrix (test_mpi_runtime / test_mpi_halo / the adios and
+chaos suites, parametrized over ``spmd_backend``) proves both backends
+compute the same thing; this file covers what only the process backend can
+get wrong: real process lifecycle (no orphans after failures, including
+hard ``os._exit`` deaths), shared-memory payload transfer and sweep,
+start-method safety, backend selection plumbing, and the merge paths that
+carry fault logs and trace data back across the process boundary.
+"""
+
+import os
+import threading
+import time
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from tests import _spmd_programs as progs
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.faults.injector import InjectedRankDeath
+from repro.mpi import BACKENDS, MPIError, SPMDError, resolve_backend, run_spmd
+from repro.mpi import shm as shm_mod
+from repro.trace import TraceSession
+
+
+def _no_live_children():
+    """True once no worker processes survive (reaped by the launcher)."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not mp.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestBackendSelection:
+    def test_resolve_order(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPMD_BACKEND", raising=False)
+        assert resolve_backend() == "thread"
+        monkeypatch.setenv("REPRO_SPMD_BACKEND", "process")
+        assert resolve_backend() == "process"
+        # An explicit argument beats the environment.
+        assert resolve_backend("thread") == "thread"
+        with pytest.raises(ValueError, match="unknown SPMD backend"):
+            resolve_backend("greenlet")
+        monkeypatch.setenv("REPRO_SPMD_BACKEND", "fiber")
+        with pytest.raises(ValueError, match="unknown SPMD backend"):
+            run_spmd(1, lambda c: None)
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("thread", "process")
+
+    def test_process_backend_runs_distinct_processes(self):
+        out = run_spmd(3, progs.rank_pid, backend="process")
+        pids = {pid for _, pid in out}
+        assert len(pids) == 3
+        assert os.getpid() not in pids
+
+    def test_thread_backend_shares_this_process(self):
+        out = run_spmd(3, progs.rank_pid, backend="thread")
+        assert {pid for _, pid in out} == {os.getpid()}
+
+    def test_env_var_selects_process_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_BACKEND", "process")
+        out = run_spmd(2, progs.rank_pid)
+        assert os.getpid() not in {pid for _, pid in out}
+
+
+class TestProcessLifecycle:
+    def test_worker_exception_leaves_no_orphans(self):
+        """The SPMDError abort cascade must terminate every rank process:
+        a worker exception may not strand its peers as live children."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(4, prog, backend="process", timeout=30.0)
+        assert set(ei.value.failures) == {1}
+        assert ei.value.aborted_ranks == [0, 2, 3]
+        assert _no_live_children(), "worker processes survived the abort"
+
+    def test_hard_rank_death_leaves_no_orphans(self):
+        """A rank dying without reporting (os._exit -- no exception, no
+        result) must be detected, attributed with its exit code, and must
+        release and reap every peer."""
+
+        def prog(comm):
+            if comm.rank == 2:
+                os._exit(17)
+            comm.barrier()
+
+        t0 = time.monotonic()
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(3, prog, backend="process", timeout=60.0)
+        assert time.monotonic() - t0 < 30.0
+        assert set(ei.value.failures) == {2}
+        assert "exit code 17" in str(ei.value.failures[2])
+        assert sorted(ei.value.aborted_ranks) == [0, 1]
+        assert _no_live_children(), "worker processes survived a rank death"
+
+    def test_failure_releases_blocked_peers_quickly(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead on arrival")
+            comm.recv(source=0)
+
+        t0 = time.monotonic()
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(3, prog, backend="process", timeout=60.0)
+        assert time.monotonic() - t0 < 30.0
+        assert set(ei.value.failures) == {0}
+        assert ei.value.aborted_ranks == [1, 2]
+
+    def test_no_thread_leak_in_parent(self):
+        """The launcher must not accumulate helper threads run over run."""
+        run_spmd(2, progs.ring_allreduce, backend="process")
+        before = threading.active_count()
+        for _ in range(3):
+            run_spmd(2, progs.ring_allreduce, backend="process")
+        assert threading.active_count() <= before + 1
+
+
+class TestStartMethods:
+    def test_spawn_runs_module_level_program(self):
+        out = run_spmd(
+            2, progs.ring_allreduce, backend="process", start_method="spawn", scale=3.0
+        )
+        assert out == run_spmd(2, progs.ring_allreduce, scale=3.0)
+
+    def test_forkserver_runs_module_level_program(self):
+        out = run_spmd(
+            2, progs.rank_pid, backend="process", start_method="forkserver"
+        )
+        assert len({pid for _, pid in out}) == 2
+
+    def test_spawn_rejects_closures_with_clear_error(self):
+        with pytest.raises(ValueError, match="picklable .* program"):
+            run_spmd(
+                2, lambda c: c.rank, backend="process", start_method="spawn"
+            )
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ValueError, match="not available"):
+            run_spmd(
+                1, progs.rank_pid, backend="process", start_method="warp"
+            )
+
+
+class TestSharedMemoryTransport:
+    def test_large_payloads_ride_shared_memory(self, monkeypatch):
+        """Force a tiny spill threshold so every array maps through a
+        segment, and check results still match the thread backend exactly."""
+        monkeypatch.setenv("REPRO_SPMD_SHM_THRESHOLD", "1")
+
+        def prog(comm):
+            a = np.arange(4096, dtype=np.float64) * (comm.rank + 1)
+            g = comm.allgather(a)
+            comm.send(a * 2, (comm.rank + 1) % comm.size, tag=9)
+            r = comm.recv(source=(comm.rank - 1) % comm.size, tag=9)
+            return np.concatenate(g + [r])
+
+        t = run_spmd(3, prog, backend="thread")
+        p = run_spmd(3, prog, backend="process")
+        for a, b in zip(t, p):
+            assert a.tobytes() == b.tobytes()
+        assert shm_mod.list_segments() == []
+
+    def test_send_buffer_snapshot_beats_feeder_thread(self):
+        """Regression: mutating an array right after send() must not change
+        what the receiver sees.  mp.Queue pickles in a background feeder
+        thread, so a by-reference inline payload (e.g. the view
+        np.ascontiguousarray returns for a contiguous slice) would ship the
+        mutated bytes -- the bug that silently lost mass in the Nyx halo
+        fold."""
+
+        def prog(comm):
+            field = np.zeros((4, 64), dtype=np.float64)
+            field[0] = comm.rank + 1.0
+            # ascontiguousarray of a contiguous slice is a *view*.
+            comm.send(np.ascontiguousarray(field[0]), (comm.rank + 1) % comm.size)
+            field[0] = 0.0
+            got = comm.recv(source=(comm.rank - 1) % comm.size)
+            return float(got.sum())
+
+        for backend in BACKENDS:
+            out = run_spmd(2, prog, backend=backend)
+            assert out == [2.0 * 64, 1.0 * 64], backend
+
+    def test_segments_swept_after_aborted_job(self):
+        """A job that dies with envelopes in flight must not leak segments:
+        the launcher sweeps the job's namespace after reaping workers."""
+
+        def prog(comm):
+            big = np.ones(100_000, dtype=np.float64)
+            # Unmatched sends: the receiver dies before consuming them.
+            comm.send(big, dest=(comm.rank + 1) % comm.size)
+            if comm.rank == 0:
+                raise RuntimeError("die with payloads in flight")
+            comm.barrier()
+
+        with pytest.raises(SPMDError):
+            run_spmd(3, prog, backend="process", timeout=30.0)
+        deadline = time.monotonic() + 5.0
+        while shm_mod.list_segments() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert shm_mod.list_segments() == []
+
+    def test_threshold_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPMD_SHM_THRESHOLD", raising=False)
+        assert shm_mod.shm_threshold() == shm_mod.DEFAULT_SHM_THRESHOLD
+        monkeypatch.setenv("REPRO_SPMD_SHM_THRESHOLD", "123")
+        assert shm_mod.shm_threshold() == 123
+        monkeypatch.setenv("REPRO_SPMD_SHM_THRESHOLD", "not-a-number")
+        assert shm_mod.shm_threshold() == shm_mod.DEFAULT_SHM_THRESHOLD
+        monkeypatch.setenv("REPRO_SPMD_SHM_THRESHOLD", "-5")
+        assert shm_mod.shm_threshold() == 0
+
+    def test_codec_roundtrip_and_inline_small(self):
+        codec = shm_mod.PayloadCodec("testjob", 0, threshold=64)
+        small = np.arange(4, dtype=np.float64)
+        kind, payload = codec.encode(small)
+        assert kind == "inline"
+        # Snapshotted at encode time: mp.Queue pickles in a feeder thread,
+        # so by-reference inline arrays would race with sender mutation.
+        assert payload is not small
+        assert not np.shares_memory(payload, small)
+        assert payload.tobytes() == small.tobytes()
+        big = np.arange(64, dtype=np.float64)
+        spec = codec.encode(big)
+        assert spec[0] == "shm"
+        out = shm_mod.PayloadCodec.decode(spec)
+        assert out.tobytes() == big.tobytes()
+        assert not np.shares_memory(out, big)
+        # The consumer unlinked; nothing survives.
+        assert shm_mod.list_segments("testjob") == []
+
+
+class TestCrossBoundaryMerging:
+    def test_unpicklable_result_is_a_clear_diagnostic(self):
+        """A program returning something that cannot cross the process
+        boundary must fail with a message saying exactly that -- not a
+        silent hang or a feeder-thread stack trace."""
+
+        def prog(comm):
+            return threading.Lock()  # unpicklable
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, backend="process", timeout=30.0)
+        assert any(
+            "unpicklable" in str(exc) for exc in ei.value.failures.values()
+        )
+
+    def test_injected_rank_death_crosses_process_boundary(self):
+        """InjectedRankDeath has a custom __init__; it must still arrive in
+        the launcher as the same type with rank/step intact."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise InjectedRankDeath(rank=1, step=4)
+            comm.barrier()
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, backend="process", timeout=30.0)
+        exc = ei.value.failures[1]
+        assert isinstance(exc, InjectedRankDeath)
+        assert (exc.rank, exc.step) == (1, 4)
+
+    def test_fault_log_merges_into_launcher_injector(self):
+        """Per-rank injectors draw in their own processes; the launcher's
+        injector must absorb their logs into the same deterministic
+        schedule the shared-injector thread backend records."""
+        rules = (FaultRule("mpi.send", "duplicate", 0.6),)
+
+        def prog(comm):
+            for i in range(5):
+                comm.send(i, (comm.rank + 1) % comm.size, tag=i)
+            return [comm.recv(source=(comm.rank - 1) % comm.size, tag=i) for i in range(5)]
+
+        inj_t = FaultInjector(FaultPlan(seed=11, rules=rules))
+        inj_p = FaultInjector(FaultPlan(seed=11, rules=rules))
+        t = run_spmd(3, prog, faults=inj_t, timeout=30.0)
+        p = run_spmd(3, prog, faults=inj_p, timeout=30.0, backend="process")
+        assert t == p
+        assert inj_p.injections > 0
+        assert inj_t.schedule() == inj_p.schedule()
+        assert inj_t.counts_by_kind() == inj_p.counts_by_kind()
+
+    def test_trace_merges_into_launcher_session(self):
+        """Spans and counters recorded inside rank processes must land in
+        the launcher's TraceSession with the same taxonomy and totals the
+        thread backend produces."""
+
+        def prog(comm):
+            rec = comm.trace_recorder
+            with rec.span("work"):
+                comm.allreduce(np.arange(8, dtype=np.float64))
+            comm.send(b"x" * 32, (comm.rank + 1) % comm.size)
+            comm.recv(source=(comm.rank - 1) % comm.size)
+            return None
+
+        sessions = {}
+        for backend in BACKENDS:
+            sess = TraceSession(backend)
+            run_spmd(2, prog, trace=sess, backend=backend, timeout=30.0)
+            sessions[backend] = sess
+        t, p = sessions["thread"], sessions["process"]
+        assert t.ranks == p.ranks == [0, 1]
+        assert sorted({s.name for s in t.spans()}) == sorted(
+            {s.name for s in p.spans()}
+        )
+        for rank in p.ranks:
+            rt, rp = t.recorder(rank), p.recorder(rank)
+            assert rt.counter_names() == rp.counter_names()
+            for name in rt.counter_names():
+                assert rt.total(name) == rp.total(name), name
+            assert [s.name for s in rp.spans] == [s.name for s in rt.spans]
+            assert all(s.rank == rank for s in rp.spans)
+
+    def test_live_connection_fails_fast_across_processes(self):
+        """Shared-address-space layers must work across processes or fail
+        with a clear diagnostic.  LiveConnection is the latter: each rank
+        process would get a private copy and publishes would silently
+        vanish, so any cross-process use raises instead."""
+        from repro.core import LiveConnection
+
+        conn = LiveConnection()
+
+        def prog(comm):
+            conn.drain_updates()
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, backend="process", timeout=30.0)
+        assert any(
+            "cannot cross a process boundary" in str(e)
+            for e in ei.value.failures.values()
+        )
+        # Same-process use (the thread backend) stays unrestricted.
+        assert run_spmd(2, prog, backend="thread") == [None, None]
+
+    def test_collective_trace_divergence_raises_on_every_rank(self):
+        """The race detector's cross-check is backend-portable: divergent
+        collectives raise CollectiveMismatchError on all ranks, not a
+        timeout."""
+        from repro.mpi import CollectiveMismatchError
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.bcast(1, root=0)
+            else:
+                comm.barrier()
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, backend="process", timeout=30.0)
+        assert all(
+            isinstance(exc, CollectiveMismatchError)
+            for exc in ei.value.failures.values()
+        )
+        assert len(ei.value.failures) == 2
+
+    def test_timeout_diagnostic_matches_thread_backend(self):
+        """The deadlock watchdog must name arrived/missing ranks in the
+        exact phrasing the thread backend uses."""
+
+        def prog(comm):
+            if comm.rank != 1:
+                comm.barrier()
+
+        messages = {}
+        for backend in BACKENDS:
+            with pytest.raises(SPMDError) as ei:
+                run_spmd(3, prog, backend=backend, timeout=1.0)
+            failing = [e for e in ei.value.failures.values() if isinstance(e, MPIError)]
+            # How many blocked ranks raise their own timeout (vs being
+            # released by the abort cascade first) is a race; the text of
+            # the diagnostic is not.
+            assert failing, f"no timeout diagnostic on the {backend} backend"
+            messages[backend] = {str(e) for e in failing}
+            assert len(messages[backend]) == 1
+        assert messages["thread"] == messages["process"]
+        (msg,) = messages["process"]
+        assert "ranks [1] had not arrived" in msg
+        assert "arrived: [0, 2]" in msg

@@ -11,7 +11,8 @@ from hypothesis import strategies as st
 
 from repro.analysis import parallel_histogram
 from repro.analysis.autocorrelation import AutocorrelationState
-from repro.mpi import SUM, run_spmd
+from repro.mpi import MAX, MIN, SUM, run_spmd
+from repro.mpi.halo import HaloExchanger
 from repro.render import RenderedImage, binary_swap, blank_image, direct_send
 from repro.storage import BPReader, BPWriter
 from repro.util import Extent
@@ -195,6 +196,131 @@ class TestStorageProperties:
         run_spmd(nranks, prog)
         got = BPReader(tmpdir / "f").read("v", 0)
         np.testing.assert_array_equal(got, field)
+
+
+class TestCrossBackendProperties:
+    """Randomized (but fully seeded -- every draw comes from the shared
+    ``seeded_rng`` fixture) invariants run through BOTH execution backends,
+    asserting bit-identical results between them.  These are the paper's
+    backend-invariance claims in miniature: reductions fold in rank order,
+    so results are deterministic regardless of execution substrate."""
+
+    DTYPES = (np.float64, np.float32, np.int64, np.int32)
+
+    def _cases(self, rng, n_cases):
+        for _ in range(n_cases):
+            nranks = int(rng.integers(2, 6))
+            shape = tuple(int(s) for s in rng.integers(1, 9, size=int(rng.integers(1, 3))))
+            dtype = self.DTYPES[int(rng.integers(0, len(self.DTYPES)))]
+            yield nranks, shape, dtype
+
+    @staticmethod
+    def _field(rng, shape, dtype):
+        if np.issubdtype(dtype, np.integer):
+            return rng.integers(-1000, 1000, size=shape).astype(dtype)
+        return rng.standard_normal(shape).astype(dtype)
+
+    def test_reductions_bit_identical_across_backends(self, seeded_rng):
+        """reduce/allreduce/gather over randomized rank counts, shapes, and
+        dtypes: both backends produce byte-identical buffers, equal to the
+        rank-ordered reference fold."""
+        for nranks, shape, dtype in self._cases(seeded_rng, 4):
+            data = [self._field(seeded_rng, shape, dtype) for _ in range(nranks)]
+
+            def prog(comm):
+                a = comm.allreduce(data[comm.rank], SUM)
+                r = comm.reduce(data[comm.rank], SUM, root=0)
+                g = comm.gather(data[comm.rank], root=nranks - 1)
+                lo = comm.allreduce(float(data[comm.rank].min()), MIN)
+                hi = comm.allreduce(float(data[comm.rank].max()), MAX)
+                return a, r, g, lo, hi
+
+            by_backend = {
+                b: run_spmd(nranks, prog, backend=b)
+                for b in ("thread", "process")
+            }
+            # Rank-ordered left fold: the documented reduction order.
+            expected = data[0].copy()
+            for d in data[1:]:
+                expected = expected + d
+            for backend, out in by_backend.items():
+                label = f"{backend} nranks={nranks} shape={shape} {np.dtype(dtype)}"
+                for rank, (a, r, g, lo, hi) in enumerate(out):
+                    assert a.tobytes() == expected.tobytes(), label
+                    assert (r is None) == (rank != 0), label
+                    if rank == 0:
+                        assert r.tobytes() == expected.tobytes(), label
+                    if rank == nranks - 1:
+                        assert [x.tobytes() for x in g] == [
+                            d.tobytes() for d in data
+                        ], label
+                    else:
+                        assert g is None, label
+                    assert lo == min(float(d.min()) for d in data), label
+                    assert hi == max(float(d.max()) for d in data), label
+            t, p = by_backend["thread"], by_backend["process"]
+            for (at, *_), (ap, *_) in zip(t, p):
+                assert at.tobytes() == ap.tobytes()
+
+    def test_float_sum_associativity_tolerance(self, seeded_rng):
+        """The rank-ordered fold may differ from numpy's pairwise sum only
+        within the classic |err| <= n*eps*sum|x| associativity bound -- and
+        the fold itself is bit-identical across backends (determinism is a
+        stronger claim than accuracy, and both must hold)."""
+        for nranks, shape, _ in self._cases(seeded_rng, 3):
+            data = [seeded_rng.standard_normal(shape) for _ in range(nranks)]
+
+            def prog(comm):
+                return comm.allreduce(data[comm.rank], SUM)
+
+            t = run_spmd(nranks, prog, backend="thread")
+            p = run_spmd(nranks, prog, backend="process")
+            for at, ap in zip(t, p):
+                assert at.tobytes() == ap.tobytes()
+            pairwise = np.sum(np.stack(data), axis=0)
+            bound = (
+                len(data)
+                * np.finfo(np.float64).eps
+                * np.sum(np.abs(np.stack(data)), axis=0)
+            )
+            assert np.all(np.abs(t[0] - pairwise) <= bound + 1e-300)
+
+    def test_halo_ghost_cell_conservation(self, seeded_rng):
+        """Ghost exchange must neither create nor destroy field mass: the
+        sum over every rank's interior equals the global sum exactly, and
+        each ghost plane equals the neighbor's boundary plane it mirrors --
+        identically on both backends."""
+        for _ in range(3):
+            nranks = int(seeded_rng.integers(1, 7))
+            # Every axis >= nranks, so no decomposition can produce a block
+            # thinner than the depth-1 ghost layer.
+            dims = tuple(int(d) for d in seeded_rng.integers(6, 10, size=3))
+            field = seeded_rng.random(dims)
+
+            def prog(comm):
+                ex = HaloExchanger(comm, dims, depth=1)
+                g = ex.allocate_ghosted()
+                e = ex.extent
+                ex.scatter_field(
+                    g, field[e.i0 : e.i1 + 1, e.j0 : e.j1 + 1, e.k0 : e.k1 + 1]
+                )
+                interior_sum = float(g[ex.interior()].sum())
+                return interior_sum, g
+
+            by_backend = {
+                b: run_spmd(nranks, prog, backend=b)
+                for b in ("thread", "process")
+            }
+            for backend, out in by_backend.items():
+                label = f"{backend} nranks={nranks} dims={dims}"
+                total = sum(s for s, _ in out)
+                # Conservation: interiors partition the global field.
+                assert total == pytest.approx(float(field.sum()), rel=1e-12), label
+            for (st_, gt), (sp_, gp) in zip(
+                by_backend["thread"], by_backend["process"]
+            ):
+                assert st_ == sp_
+                assert gt.tobytes() == gp.tobytes()
 
 
 class TestDecompositionProperties:

@@ -86,18 +86,29 @@ class DeclaredMutator(AnalysisAdaptor):
         return True
 
 
+class WriteProtectionProbe(AnalysisAdaptor):
+    """Module-level (not a closure) so instances pickle on any backend."""
+
+    def execute(self, data):
+        arr = data.get_array(Association.POINT, "data")
+        assert arr.guarded
+        assert not arr.writeable
+        with pytest.raises(ValueError):
+            arr.as_soa()[0][0] = 1.0
+        return True
+
+
+class DeepCopyingAnalysis(AnalysisAdaptor):
+    """Keeps a deep copy -- the sanctioned retention escape hatch."""
+
+    def execute(self, data):
+        self.kept = data.get_array(Association.POINT, "data").deep_copy()
+        return True
+
+
 class TestWriteGuard:
     def test_handed_out_views_are_write_protected(self):
-        class Probe(AnalysisAdaptor):
-            def execute(self, data):
-                arr = data.get_array(Association.POINT, "data")
-                assert arr.guarded
-                assert not arr.writeable
-                with pytest.raises(ValueError):
-                    arr.as_soa()[0][0] = 1.0
-                return True
-
-        _run_bridge(Probe, np.zeros((4, 4)))
+        _run_bridge(WriteProtectionProbe, np.zeros((4, 4)))
 
     def test_mutation_raises_naming_analysis_and_array(self):
         field = np.arange(16.0).reshape(4, 4)
@@ -110,9 +121,18 @@ class TestWriteGuard:
 
     def test_mutation_not_detected_when_disabled(self):
         field = np.arange(16.0).reshape(4, 4)
-        a = _run_bridge(MutatingAnalysis, field, sanitize=False)
-        assert a is not None
-        assert field[0, 0] == -999.0  # the write went through, unchecked
+
+        def prog(comm):
+            b = Bridge(comm, _mk_adaptor(comm, field), sanitize=False)
+            b.add_analysis(MutatingAnalysis())
+            b.initialize()
+            b.execute(0.0, 0)
+            b.finalize()
+            # Returned rather than asserted on the closure: the program may
+            # run in another process with a private copy of `field`.
+            return field[0, 0]
+
+        assert run_spmd(1, prog)[0] == -999.0  # the write went through
 
     def test_declared_mutator_gets_private_copy(self):
         field = np.arange(16.0).reshape(4, 4)
@@ -147,12 +167,7 @@ class TestRetentionGuard:
         assert a.kept is not None
 
     def test_deep_copy_escape_hatch_is_clean(self):
-        class Copier(AnalysisAdaptor):
-            def execute(self, data):
-                self.kept = data.get_array(Association.POINT, "data").deep_copy()
-                return True
-
-        a = _run_bridge(Copier, np.arange(16.0).reshape(4, 4), steps=2)
+        a = _run_bridge(DeepCopyingAnalysis, np.arange(16.0).reshape(4, 4), steps=2)
         assert a.kept.num_tuples == 16
 
 
