@@ -274,15 +274,18 @@ WEAK_ITERS = 36
 def _weak_scaling_work(comm):
     """Fixed per-rank numpy workload: weak scaling holds this constant as
     ranks are added.  The ufunc chain holds the GIL, so the thread backend
-    serializes it while the process backend spreads it across cores."""
+    serializes it while the process backend spreads it across cores.  The
+    closing allreduce folds the full 512 KiB field (not a scalar), so the
+    benchmark also exercises the pooled segment transport the process
+    backend uses for bulk collectives."""
     rng = np.random.default_rng(1000 + comm.rank)
     field = rng.random(WEAK_SHAPE)
     base = rng.random(WEAK_SHAPE)
     for _ in range(WEAK_ITERS):
         field = np.sin(field) * 1.0001 + np.sqrt(np.abs(base + field))
         field -= np.tanh(field) * 0.5
-    total = comm.allreduce(float(field.sum()), op=SUM)
-    return field.tobytes(), total
+    total = comm.allreduce(field, op=SUM)
+    return field.tobytes(), total.tobytes()
 
 
 def test_spmd_backend_weak_scaling(report):
@@ -346,3 +349,153 @@ def test_spmd_backend_weak_scaling(report):
         # Single CPU: no concurrency to win; only bound the process-launch
         # and pipe-transport overhead on a compute-dominated job.
         assert speedup4 >= 0.5, f"process overhead too high: {speedup4:.2f}x"
+
+
+# -- 5. pooled shared-memory collectives ---------------------------------------
+
+SHM_FIELD = (256, 256)  # 512 KiB of float64, 8x the 64 KiB pool threshold
+SHM_RANKS = 4
+SHM_STEPS = 6
+
+
+def _shm_collective_work(comm):
+    """Collective-dominated step loop: every step allreduces and allgathers
+    the full 512 KiB field.  With pooling each contribution is one memcpy
+    into a ring slot; with ``REPRO_SPMD_SHM_THRESHOLD=0`` every collective
+    pickles the array once per peer through the pipe transport."""
+    rng = np.random.default_rng(300 + comm.rank)
+    field = rng.random(SHM_FIELD)
+    for _ in range(SHM_STEPS):
+        folded = comm.allreduce(field, op=SUM)
+        rows = comm.allgather(field)
+        field = folded / comm.size + rows[(comm.rank + 1) % comm.size] * 1e-3
+    return field.tobytes()
+
+
+def test_shm_collectives_speedup(report):
+    """Pooled segment collectives vs forced pickled envelopes.
+
+    Both runs use the process backend; only the transport differs, so the
+    measured gap is pure serialization cost.  Results must be bit-identical
+    (the transport-equivalence contract).  Unlike the backend-concurrency
+    benchmarks, pooling wins by *not copying*, so it should pay off at any
+    CPU count; the >= 1.5x target is still gated on >= 4 CPUs because the
+    pickled baseline degrades (favorably for the ratio) under contention.
+    """
+    times: dict[str, float] = {}
+    outputs: dict[str, list] = {}
+    previous = os.environ.get("REPRO_SPMD_SHM_THRESHOLD")
+    try:
+        for mode, threshold in (("shm", None), ("pickled", "0")):
+            if threshold is None:
+                os.environ.pop("REPRO_SPMD_SHM_THRESHOLD", None)
+            else:
+                os.environ["REPRO_SPMD_SHM_THRESHOLD"] = threshold
+            run = lambda: run_spmd(  # noqa: E731
+                SHM_RANKS, _shm_collective_work, backend="process", timeout=120.0
+            )
+            times[mode] = _best_of(run, 3)
+            outputs[mode] = run()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SPMD_SHM_THRESHOLD", None)
+        else:
+            os.environ["REPRO_SPMD_SHM_THRESHOLD"] = previous
+    assert outputs["shm"] == outputs["pickled"]
+
+    cpus = _cpus()
+    speedup = times["pickled"] / times["shm"]
+    _record(
+        "shm_collectives",
+        {
+            "field": list(SHM_FIELD),
+            "ranks": SHM_RANKS,
+            "steps": SHM_STEPS,
+            "collectives_per_step": ["allreduce", "allgather"],
+            "pickled_s": times["pickled"],
+            "shm_s": times["shm"],
+            "speedup": speedup,
+            "target_speedup": 1.5,
+            "target_gated_on_cpus": 4,
+        },
+    )
+    report(
+        "perf_shm_collectives",
+        f"512 KiB collectives x{SHM_STEPS} steps, {SHM_RANKS} ranks ({cpus} CPUs)",
+        [
+            f"pickled envelopes: {times['pickled'] * 1e3:8.1f} ms",
+            f"pooled segments:   {times['shm'] * 1e3:8.1f} ms  ({speedup:.2f}x)",
+        ],
+    )
+    if cpus >= 4:
+        assert speedup >= 1.5, f"shm collectives {speedup:.2f}x below 1.5x target"
+    else:
+        # Fewer cores shrink the gap (the pickled baseline's copies run
+        # unconcurrently too) but pooling must never *lose*  badly.
+        assert speedup >= 0.8, f"shm collectives regressed: {speedup:.2f}x"
+
+
+# -- 6. PNG codec pool ----------------------------------------------------------
+
+
+def test_codec_pool_speedup(report):
+    """Serial encoder vs the persistent process codec pool, level 6.
+
+    The thread codec is bounded by the GIL held during filtering and the
+    zlib dispatch loop; the process pool deflates bands truly concurrently
+    (bands staged through one shared-memory segment).  Thread and process
+    codecs band identically, so their output must be byte-identical; the
+    2x target needs real cores and is gated on >= 4 CPUs.
+    """
+    frame = _frame_2048()
+    level = 6
+    serial_blob = encode_png(frame, level, codec="serial")
+    thread_blob = encode_png(frame, level, workers=PNG_WORKERS, codec="thread")
+    process_blob = encode_png(frame, level, workers=PNG_WORKERS, codec="process")
+    assert thread_blob == process_blob
+    assert np.array_equal(decode_png(process_blob), decode_png(serial_blob))
+
+    t_serial = _best_of(lambda: encode_png(frame, level, codec="serial"), 3)
+    t_thread = _best_of(
+        lambda: encode_png(frame, level, workers=PNG_WORKERS, codec="thread"), 3
+    )
+    # The pool is warm (created by the byte-identity check above), so this
+    # times steady-state encodes, not executor spawn.
+    t_process = _best_of(
+        lambda: encode_png(frame, level, workers=PNG_WORKERS, codec="process"), 3
+    )
+
+    cpus = _cpus()
+    speedup = t_serial / t_process
+    _record(
+        "codec_pool",
+        {
+            "image": [2048, 2048, 3],
+            "compression_level": level,
+            "workers": PNG_WORKERS,
+            "serial_s": t_serial,
+            "thread_s": t_thread,
+            "process_s": t_process,
+            "speedup": speedup,
+            "thread_speedup": t_serial / t_thread,
+            "target_speedup": 2.0,
+            "target_gated_on_cpus": 4,
+        },
+    )
+    report(
+        "perf_codec_pool",
+        f"PNG 2048x2048 RGB level {level}, {PNG_WORKERS} workers ({cpus} CPUs)",
+        [
+            f"serial:       {t_serial * 1e3:8.1f} ms",
+            f"thread codec: {t_thread * 1e3:8.1f} ms  ({t_serial / t_thread:.2f}x)",
+            f"process pool: {t_process * 1e3:8.1f} ms  ({speedup:.2f}x)",
+        ],
+    )
+    if cpus >= 4:
+        assert speedup >= 2.0, f"codec pool {speedup:.2f}x below 2x target"
+    elif cpus >= 2:
+        assert speedup >= 1.1, f"codec pool {speedup:.2f}x on {cpus} CPUs"
+    else:
+        # Single CPU: band staging + IPC overhead with zero concurrency to
+        # recover it; bound the overhead only.
+        assert speedup >= 0.3, f"codec pool overhead too high: {speedup:.2f}x"

@@ -1,0 +1,165 @@
+"""Optional Numba acceleration tier for the three hottest CPU kernels.
+
+ROADMAP names three kernels whose per-step cost dominates once the
+transport overheads are gone: the oscillator-advance matvec
+(:mod:`repro.miniapp.kernel_cache`), halo-face packing
+(:mod:`repro.mpi.halo`), and framebuffer compositing
+(:func:`repro.render.compositing.composite_over_into`).  Each has a numpy
+reference implementation that stays the source of truth; this module adds
+jitted variants that fuse the per-element work and drop the intermediate
+allocations (the 3-channel composite mask, the face-packing temporary).
+
+Detection: importing :mod:`repro.accel` tries ``import numba`` unless the
+``REPRO_NUMBA`` environment variable is ``0``/``false``/``off``/``no``
+(the kill switch; ``REPRO_NUMBA=1`` with numba missing stays off).  When
+numba is absent -- the default container does not ship it -- every entry
+point dispatches to its numpy reference: same results, no new
+dependencies.  When present, the equivalence tests in
+``tests/test_accel_equivalence.py`` gate the tier: the matvec must match
+BLAS to rtol 1e-12 and packing/compositing must be byte-identical to the
+numpy paths.
+
+Verify which tier is active with::
+
+    python -c "from repro import accel; print(accel.HAVE_NUMBA)"
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def _numba_enabled() -> bool:
+    raw = os.environ.get("REPRO_NUMBA", "").strip().lower()
+    if raw in ("0", "false", "off", "no"):
+        return False
+    try:
+        import numba  # noqa: F401
+    except Exception:  # pragma: no cover - exercised without numba
+        return False
+    return True
+
+
+#: True when the jitted tier is active (numba importable and not disabled).
+HAVE_NUMBA = _numba_enabled()
+
+
+if HAVE_NUMBA:  # pragma: no cover - requires numba installed
+    import numba
+
+    @numba.njit(cache=True, parallel=True)
+    def _matvec(basis, values, out):
+        n, m = basis.shape
+        for i in numba.prange(n):
+            acc = 0.0
+            for j in range(m):
+                acc += basis[i, j] * values[j]
+            out[i] = acc
+
+    @numba.njit(cache=True, parallel=True)
+    def _pack3(src, dst):
+        ni, nj, nk = src.shape
+        for i in numba.prange(ni):
+            for j in range(nj):
+                for k in range(nk):
+                    dst[i, j, k] = src[i, j, k]
+
+    @numba.njit(cache=True, parallel=True)
+    def _composite_depth(orgb, oalpha, odepth, frgb, falpha, fdepth, brgb, balpha, bdepth):
+        h, w = falpha.shape
+        for i in numba.prange(h):
+            for j in range(w):
+                if fdepth[i, j] <= bdepth[i, j]:
+                    orgb[i, j, 0] = frgb[i, j, 0]
+                    orgb[i, j, 1] = frgb[i, j, 1]
+                    orgb[i, j, 2] = frgb[i, j, 2]
+                    oalpha[i, j] = falpha[i, j]
+                    odepth[i, j] = fdepth[i, j]
+                else:
+                    orgb[i, j, 0] = brgb[i, j, 0]
+                    orgb[i, j, 1] = brgb[i, j, 1]
+                    orgb[i, j, 2] = brgb[i, j, 2]
+                    oalpha[i, j] = balpha[i, j]
+                    odepth[i, j] = bdepth[i, j]
+
+    @numba.njit(cache=True, parallel=True)
+    def _composite_alpha(orgb, oalpha, frgb, falpha, brgb, balpha):
+        h, w = falpha.shape
+        for i in numba.prange(h):
+            for j in range(w):
+                if falpha[i, j] > 0:
+                    orgb[i, j, 0] = frgb[i, j, 0]
+                    orgb[i, j, 1] = frgb[i, j, 1]
+                    orgb[i, j, 2] = frgb[i, j, 2]
+                    oalpha[i, j] = falpha[i, j]
+                else:
+                    orgb[i, j, 0] = brgb[i, j, 0]
+                    orgb[i, j, 1] = brgb[i, j, 1]
+                    orgb[i, j, 2] = brgb[i, j, 2]
+                    oalpha[i, j] = balpha[i, j]
+
+
+def matvec_into(basis: np.ndarray, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out[:] = basis @ values`` -- the oscillator-advance hot loop.
+
+    Jitted: a row-parallel fused multiply-accumulate.  Reference: BLAS
+    GEMV via ``np.dot(..., out=)``.  The two accumulate in different
+    orders, so equivalence is gated at rtol 1e-12, not bit-identity.
+    """
+    if HAVE_NUMBA:  # pragma: no cover - requires numba installed
+        _matvec(basis, values, out)
+        return out
+    np.dot(basis, values, out=out)
+    return out
+
+
+def pack_contiguous(arr: np.ndarray) -> np.ndarray:
+    """A C-contiguous copy of a halo face view (identity when already so).
+
+    Jitted: a plane-parallel strided gather into a fresh buffer.
+    Reference: :func:`np.ascontiguousarray`.  Byte-identical by
+    construction (a copy is a copy).
+    """
+    if (
+        HAVE_NUMBA
+        and isinstance(arr, np.ndarray)
+        and arr.ndim == 3
+        and not arr.flags.c_contiguous
+    ):  # pragma: no cover - requires numba installed
+        dst = np.empty(arr.shape, dtype=arr.dtype)
+        _pack3(arr, dst)
+        return dst
+    return np.ascontiguousarray(arr)
+
+
+def composite_into(
+    out_rgb: np.ndarray,
+    out_alpha: np.ndarray,
+    out_depth: "np.ndarray | None",
+    f_rgb: np.ndarray,
+    f_alpha: np.ndarray,
+    f_depth: "np.ndarray | None",
+    b_rgb: np.ndarray,
+    b_alpha: np.ndarray,
+    b_depth: "np.ndarray | None",
+) -> bool:
+    """Fused front-over-back composite; False when the jitted tier is off.
+
+    One pass per pixel, no 3-channel mask materialization.  The selection
+    semantics are exactly :func:`repro.render.compositing.composite_over_into`'s
+    (depth test when depth is carried, else any-rendered-alpha), and each
+    pixel is fully read before it is written, so ``out`` may alias either
+    input -- byte-identical output to the numpy path.  Callers fall back
+    to the reference path on False.
+    """
+    if not HAVE_NUMBA:
+        return False
+    if f_depth is not None:  # pragma: no cover - requires numba installed
+        _composite_depth(
+            out_rgb, out_alpha, out_depth, f_rgb, f_alpha, f_depth, b_rgb, b_alpha, b_depth
+        )
+    else:  # pragma: no cover - requires numba installed
+        _composite_alpha(out_rgb, out_alpha, f_rgb, f_alpha, b_rgb, b_alpha)
+    return True

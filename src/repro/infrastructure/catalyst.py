@@ -70,6 +70,7 @@ def _make_catalyst(config) -> "CatalystAdaptor":
         compression_level=config.get_int("compression_level", 6),
         frequency=config.get_int("frequency", 1),
         png_workers=config.get_int("png_workers", 0),
+        png_codec=config.get("png_codec", "auto"),
         framebuffer_pool=config.get_bool("framebuffer_pool", False),
     )
 
@@ -84,7 +85,9 @@ class CatalystAdaptor(AnalysisAdaptor):
     are kept on ``last_png`` so callers (and tests) can consume them.
 
     Two hot-path knobs ablate the paper's serial-rank-0 bottlenecks:
-    ``png_workers > 0`` switches rank 0 to the parallel chunked PNG deflate,
+    ``png_workers > 0`` switches rank 0 to the parallel chunked PNG deflate
+    (``png_codec`` picks the executor: ``auto``/``thread``/``process``/
+    ``serial``, where ``process`` is the GIL-free persistent codec pool),
     and ``framebuffer_pool=True`` reuses framebuffers across steps instead
     of allocating fresh RGB/alpha triples every frame.
     """
@@ -100,6 +103,7 @@ class CatalystAdaptor(AnalysisAdaptor):
         compression_level: int = 6,
         frequency: int = 1,
         png_workers: int = 0,
+        png_codec: str = "auto",
         framebuffer_pool: bool = False,
     ) -> None:
         super().__init__()
@@ -122,6 +126,9 @@ class CatalystAdaptor(AnalysisAdaptor):
         if png_workers < 0:
             raise ValueError("png_workers must be non-negative")
         self.png_workers = png_workers
+        if png_codec not in ("auto", "thread", "process", "serial"):
+            raise ValueError(f"unknown png_codec {png_codec!r}")
+        self.png_codec = png_codec
         self._use_pool = framebuffer_pool
         self._pool: FramebufferPool | None = None
         self._comm = None
@@ -231,14 +238,17 @@ class CatalystAdaptor(AnalysisAdaptor):
             # bottleneck), parallel chunked deflate when png_workers > 0.
             with timed(self.timers, "catalyst::png"):
                 blob = encode_png(
-                    final.rgb, self.compression_level, workers=self.png_workers
+                    final.rgb,
+                    self.compression_level,
+                    workers=self.png_workers,
+                    codec=self.png_codec,
                 )
             self.last_png = blob
             rec = self.timers.trace if self.timers is not None else None
             if rec is not None:
                 rec.count("catalyst::png_bytes", len(blob))
                 if self._pool is not None:
-                    rec.gauge("catalyst::framebuffer_pool::hits", self._pool.hits)
+                    self._pool.record_gauges(rec)
             if self._pool is not None:
                 self._pool.release(final)
             if self.output_dir:

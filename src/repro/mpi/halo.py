@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import accel
 from repro.mpi.communicator import Communicator
 from repro.util.decomp import Extent, regular_decompose_3d
 
@@ -146,9 +147,14 @@ class HaloExchanger:
                 ghosted[ghost_lo] = ghosted[face(slice(d, d + 1))]
 
     def _sendrecv(self, dest: int | None, source: int | None, payload, tag: int):
-        """Sendrecv tolerating absent (non-periodic edge) partners."""
+        """Sendrecv tolerating absent (non-periodic edge) partners.
+
+        Face views are strided; they are packed contiguous before the send
+        (:func:`repro.accel.pack_contiguous` -- the jitted gather when the
+        numba tier is on, ``np.ascontiguousarray`` otherwise).
+        """
         if dest is not None:
-            self.comm.send(np.ascontiguousarray(payload), dest=dest, tag=tag)
+            self.comm.send(accel.pack_contiguous(payload), dest=dest, tag=tag)
         if source is not None:
             return self.comm.recv(source=source, tag=tag)
         return None

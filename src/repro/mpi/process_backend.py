@@ -20,7 +20,13 @@ one *process* per rank:
   divergence cross-check raises the same
   :class:`~repro.mpi.communicator.CollectiveMismatchError` on every rank,
   and reductions still fold in rank order -- results are bit-identical to
-  the thread backend.
+  the thread backend.  Large-array contributions never cross the pipes:
+  each rank packs its payload once into a pooled shared-memory segment
+  (:class:`~repro.mpi.shm.SegmentPool`) and ships every peer the same tiny
+  header; peers copy -- or, for reductions, fold in place -- straight out
+  of the segment (:class:`~repro.mpi.shm.ReductionPlan`).  The
+  ``mpi::<kind>::bytes`` counter is split into ``::shm`` and ``::pickled``
+  so traces prove which transport carried the bytes.
 - **Faults** reuse the ``mpi.send`` / ``mpi.collective`` sites unchanged:
   delay and drop-retransmit are sender-side timers that deliver a pending
   envelope's payload late, exactly mirroring the thread transport.  Each
@@ -57,6 +63,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.mpi.communicator import (
     _HISTORY_LIMIT,
     Communicator,
@@ -64,10 +72,20 @@ from repro.mpi.communicator import (
     MPIError,
     RankAbort,
     _Mailbox,
+    _copy_payload,
     _payload_nbytes,
     _thread_world_rank,
 )
-from repro.mpi.shm import PayloadCodec, cleanup_segments
+from repro.mpi.ops import SUM, ReduceOp
+from repro.mpi.shm import (
+    RING_DEPTH,
+    AttachCache,
+    PayloadCodec,
+    PoolRef,
+    ReductionPlan,
+    SegmentPool,
+    cleanup_segments,
+)
 
 #: Communicator id of the world communicator.
 _WORLD_ID = "w"
@@ -112,6 +130,11 @@ class _Runtime:
         self.size = size
         self.queues = queues
         self.codec = PayloadCodec(job_tag, rank)
+        #: Pooled collective transport: this rank's reusable contribution
+        #: segments, and cached attachments to the peers' (see shm.py).
+        self.pool = SegmentPool(job_tag, rank)
+        self.attach = AttachCache()
+        self._pool_gauges: "dict[str, int] | None" = None
         self.abort_reason: str | None = None
         self._states: dict[str, _CommState] = {}
         self._lock = threading.Lock()
@@ -204,6 +227,25 @@ class _Runtime:
             with st.cond:
                 st.cond.notify_all()
 
+    def emit_pool_gauges(self, rec) -> None:
+        """Sample the ``shm::pool::*`` gauges when the counters moved."""
+        counters = self.pool.counters()
+        if counters != self._pool_gauges:
+            self._pool_gauges = counters
+            for name, value in counters.items():
+                rec.gauge(f"shm::pool::{name}", value)
+
+    def release_shm(self) -> None:
+        """Drop this worker's shared-memory mappings before exit.
+
+        Pool segments are closed, not unlinked: a peer still finishing its
+        last collective may attach them after this rank's program returned.
+        The launcher's job-tag sweep unlinks the names once every worker
+        has exited.
+        """
+        self.attach.close()
+        self.pool.close()
+
     def stop(self) -> None:
         # Wake the drainer out of its blocking get and see it exit before
         # the interpreter starts tearing down the queue machinery under it;
@@ -250,6 +292,9 @@ class _ProcessContext:
         self.lock = threading.Lock()
         self.state = runtime.state(cid)
         self.mailboxes = {local_rank: self.state.mailbox}
+        #: Per-communicator fold schedule + preallocated accumulators for
+        #: in-place reductions straight out of peers' pooled segments.
+        self.plan = ReductionPlan()
 
 
 class ProcessCommunicator(Communicator):
@@ -261,19 +306,37 @@ class ProcessCommunicator(Communicator):
     know they are crossing a process boundary.
     """
 
+    # -- transport accounting ----------------------------------------------
+    @staticmethod
+    def _count_transport(rec, stem: str, shm_bytes: int, total: int) -> None:
+        """Split a payload's bytes into shm-carried vs. pickled counters.
+
+        Zero-valued samples are skipped to keep traces lean; reports read
+        the split with a 0.0 default.
+        """
+        if shm_bytes:
+            rec.count(f"{stem}::shm", shm_bytes)
+        if total > shm_bytes:
+            rec.count(f"{stem}::pickled", total - shm_bytes)
+
     # -- point to point ----------------------------------------------------
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
         if not 0 <= dest < self.size:
             raise MPIError(f"send dest {dest} out of range (size {self.size})")
         ctx: _ProcessContext = self._ctx
         rec = self._trace_recorder
+        nb = _payload_nbytes(payload) if rec is not None else 0
         if rec is not None:
-            rec.count("mpi::send::bytes", _payload_nbytes(payload))
+            rec.count("mpi::send::bytes", nb)
         dest_world = ctx.members[dest]
         runtime = ctx.runtime
         inj = ctx.injector
         if inj is None:
             spec = runtime.codec.encode(payload)
+            if rec is not None:
+                self._count_transport(
+                    rec, "mpi::send::bytes", nb if spec[0] == "shm" else 0, nb
+                )
             runtime.put(dest_world, ("pt", ctx.cid, self._rank, tag, None, spec))
             return
         seq = self._send_seqs.get(dest, 0)
@@ -283,8 +346,14 @@ class ProcessCommunicator(Communicator):
         # two decodes, which a consume-once shm segment cannot.
         if action is None:
             spec = runtime.codec.encode(payload)
+            if rec is not None:
+                self._count_transport(
+                    rec, "mpi::send::bytes", nb if spec[0] == "shm" else 0, nb
+                )
             runtime.put(dest_world, ("pt", ctx.cid, self._rank, tag, seq, spec))
             return
+        if rec is not None:
+            self._count_transport(rec, "mpi::send::bytes", 0, nb)
         kind = action.kind
         if kind == "duplicate":
             # Delivered twice; the receiver's seq dedup discards the copy.
@@ -316,7 +385,7 @@ class ProcessCommunicator(Communicator):
             )
 
     # -- collectives -------------------------------------------------------
-    def _exchange(self, value: Any, record) -> list[Any]:
+    def _exchange(self, value: Any, record, resolve: bool = True) -> list[Any]:
         """All-to-all contribution exchange replacing the shared slot array.
 
         Unlike the thread backend there is no second barrier phase: every
@@ -324,11 +393,22 @@ class ProcessCommunicator(Communicator):
         rank may therefore leave a collective while a peer is still
         collecting -- the same eventual-completion semantics real MPI
         collectives have.
+
+        Large-array contributions ride the segment pool: the payload is
+        packed *once* into this rank's pooled segment and every peer gets
+        the same tiny :class:`PoolRef` header -- zero array bytes cross the
+        pipes, and the fault sites see the identical draw sequence they see
+        on the inline path (the envelope payload, not the draw schedule,
+        is what changed).  With ``resolve=True`` peers' headers are
+        materialized into private copies before returning; the collective
+        overrides below pass ``resolve=False`` to copy or fold straight
+        out of the peers' segments instead.
         """
         ctx: _ProcessContext = self._ctx
         rec = self._trace_recorder
+        nb = _payload_nbytes(value) if rec is not None else 0
         if rec is not None:
-            rec.count(f"mpi::{record[1]}::bytes", _payload_nbytes(value))
+            rec.count(f"mpi::{record[1]}::bytes", nb)
         inj = ctx.injector
         if inj is not None:
             # Straggler injection: this rank enters the collective late.
@@ -337,10 +417,28 @@ class ProcessCommunicator(Communicator):
                 time.sleep(float(action.params.get("seconds", 0.001)))
         runtime = ctx.runtime
         cseq = record[0]
+        shared_spec = None
+        if self.size > 1 and runtime.codec.threshold > 0:
+            ref = runtime.pool.pack(
+                (ctx.cid, cseq % RING_DEPTH), value, runtime.codec.threshold
+            )
+            if ref is not None:
+                # One pack, one header for everyone; _snapshot passes the
+                # transport-owned PoolRef through uncopied.
+                shared_spec = runtime.codec.encode(ref)
+                if rec is not None:
+                    self._count_transport(
+                        rec, f"mpi::{record[1]}::bytes", ref.nbytes, nb
+                    )
+                    runtime.emit_pool_gauges(rec)
+        if shared_spec is None and rec is not None and self.size > 1:
+            self._count_transport(rec, f"mpi::{record[1]}::bytes", 0, nb)
         for peer in range(self.size):
             if peer == self._rank:
                 continue
-            spec = runtime.codec.encode(value)
+            spec = shared_spec
+            if spec is None:
+                spec = runtime.codec.encode(value)
             runtime.put(
                 ctx.members[peer],
                 ("coll", ctx.cid, self._rank, cseq, record, spec),
@@ -401,7 +499,125 @@ class ProcessCommunicator(Communicator):
                     )
                 st.cond.wait(remaining)
         self._check_trace(records)
+        if resolve:
+            attach = runtime.attach
+            values = [
+                v.materialize(attach) if isinstance(v, PoolRef) else v
+                for v in values
+            ]
         return values
+
+    # -- pooled-contribution resolution ------------------------------------
+    def _materialize(self, v: Any) -> Any:
+        """A private, owned copy of one exchanged contribution."""
+        if isinstance(v, PoolRef):
+            return v.materialize(self._ctx.runtime.attach)
+        return _copy_payload(v)
+
+    def _fold(self, op: ReduceOp, values: list[Any]) -> Any:
+        """Rank-order fold of exchanged contributions.
+
+        Same-shape/dtype ndarray rows under a ufunc-backed op fold in
+        place into the communicator's preallocated accumulator, reading
+        peers' contributions as views straight out of their pooled
+        segments (zero copies); the result handed back is a private copy.
+        Everything else takes the allocating ``op.reduce`` path the thread
+        backend uses.  Both paths apply the identical elementwise fold
+        order (rank 0..N-1), so results are bit-identical.
+        """
+        runtime = self._ctx.runtime
+        if op.ufunc is not None:
+            rows = [
+                v.view_tree(runtime.attach) if isinstance(v, PoolRef) else v
+                for v in values
+            ]
+            first = rows[0]
+            if isinstance(first, np.ndarray) and all(
+                isinstance(v, np.ndarray)
+                and v.shape == first.shape
+                and v.dtype == first.dtype
+                for v in rows
+            ):
+                acc = self._ctx.plan.fold(op.ufunc, rows, op.name)
+                return acc.copy()
+        return op.reduce([self._materialize(v) for v in values])
+
+    def allgather(self, value: Any) -> list[Any]:
+        values = self._exchange(value, self._record("allgather"), resolve=False)
+        return [self._materialize(v) for v in values]
+
+    def gather(self, value: Any, root: int = 0) -> "list[Any] | None":
+        values = self._exchange(
+            value, self._record("gather", root=root), resolve=False
+        )
+        if self._rank == root:
+            return [self._materialize(v) for v in values]
+        return None
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        values = self._exchange(
+            value if self._rank == root else None,
+            self._record("bcast", root=root),
+            resolve=False,
+        )
+        return self._materialize(values[root])
+
+    def scatter(self, values: "list[Any] | None", root: int = 0) -> Any:
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                raise MPIError(
+                    "scatter at root requires a list with one entry per rank"
+                )
+        deposited = self._exchange(
+            values if self._rank == root else None,
+            self._record("scatter", root=root),
+            resolve=False,
+        )
+        row = deposited[root]
+        if isinstance(row, PoolRef):
+            row = row.view_tree(self._ctx.runtime.attach)
+        return _copy_payload(row[self._rank])
+
+    def alltoall(self, values: list[Any]) -> list[Any]:
+        if len(values) != self.size:
+            raise MPIError("alltoall requires one entry per rank")
+        deposited = self._exchange(
+            values, self._record("alltoall"), resolve=False
+        )
+        attach = self._ctx.runtime.attach
+        out = []
+        for src in range(self.size):
+            row = deposited[src]
+            if isinstance(row, PoolRef):
+                row = row.view_tree(attach)
+            out.append(_copy_payload(row[self._rank]))
+        return out
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        values = self._exchange(
+            value,
+            self._record("reduce", op=op, root=root, value=value),
+            resolve=False,
+        )
+        if self._rank == root:
+            return self._fold(op, values)
+        return None
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        values = self._exchange(
+            value, self._record("allreduce", op=op, value=value), resolve=False
+        )
+        # Every rank folds in identical rank order => identical results.
+        return self._fold(op, values)
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``None``."""
+        values = self._exchange(
+            value, self._record("exscan", op=op, value=value), resolve=False
+        )
+        if self._rank == 0:
+            return None
+        return self._fold(op, values[: self._rank])
 
     # -- communicator management -------------------------------------------
     def split(self, color: int, key: int | None = None):
@@ -560,6 +776,7 @@ def _worker_main(rank: int, size: int, queues, result_queue, spec: _WorkerSpec) 
     result_queue.join_thread()
     runtime.flush_timers()
     runtime.stop()
+    runtime.release_shm()
 
 
 # --------------------------------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import accel
 from repro.render.rasterize import RenderedImage, blank_image
 from repro.util.memory import MemoryTracker
 
@@ -68,6 +69,14 @@ def composite_over_into(
         out = back
     if out.shape != front.shape or (out.depth is None) != (front.depth is None):
         raise ValueError("out must match the composited images' shape and depth")
+    # Numba tier (byte-identical fused per-pixel pass, no mask temporary);
+    # returns False when inactive and the reference path below runs.
+    if accel.composite_into(
+        out.rgb, out.alpha, out.depth,
+        front.rgb, front.alpha, front.depth,
+        back.rgb, back.alpha, back.depth,
+    ):
+        return out
     if front.depth is not None:
         take_front = front.depth <= back.depth
     else:
@@ -100,6 +109,11 @@ class FramebufferPool:
     experiments) rather than churning the high-water mark every frame.
     """
 
+    #: Free buffers retained per (height, width, depth) key; releases
+    #: beyond this are dropped (*evicted*), so a resolution change cannot
+    #: pin every old resolution's buffers forever.
+    MAX_FREE_PER_KEY = 4
+
     def __init__(
         self,
         memory: MemoryTracker | None = None,
@@ -110,6 +124,7 @@ class FramebufferPool:
         self._free: dict[tuple[int, int, bool], list[RenderedImage]] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.allocated_nbytes = 0
 
     def acquire(
@@ -138,9 +153,34 @@ class FramebufferPool:
         return img
 
     def release(self, img: RenderedImage) -> None:
-        """Return a framebuffer for reuse; the caller must drop its ref."""
+        """Return a framebuffer for reuse; the caller must drop its ref.
+
+        A release beyond :data:`MAX_FREE_PER_KEY` free buffers of that
+        shape is evicted instead -- dropped, with its bytes returned to
+        the memory tracker.
+        """
         key = (img.shape[0], img.shape[1], img.depth is not None)
-        self._free.setdefault(key, []).append(img)
+        stack = self._free.setdefault(key, [])
+        if len(stack) >= self.MAX_FREE_PER_KEY:
+            self.evictions += 1
+            self.allocated_nbytes -= img.nbytes
+            if self.memory is not None:
+                self.memory.free(img.nbytes, label=self.label)
+            return
+        stack.append(img)
+
+    def record_gauges(self, rec, prefix: str | None = None) -> None:
+        """Sample hit/miss/evict/footprint gauges on a trace recorder.
+
+        Names are ``<prefix>::{hits,misses,evictions,allocated_nbytes}``
+        with ``prefix`` defaulting to the pool's label, so ``repro report``
+        shows pool behavior per step alongside the phase timings.
+        """
+        stem = self.label if prefix is None else prefix
+        rec.gauge(f"{stem}::hits", self.hits)
+        rec.gauge(f"{stem}::misses", self.misses)
+        rec.gauge(f"{stem}::evictions", self.evictions)
+        rec.gauge(f"{stem}::allocated_nbytes", self.allocated_nbytes)
 
     def drain(self) -> None:
         """Drop all pooled buffers and return their bytes to the tracker."""

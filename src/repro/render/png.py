@@ -7,11 +7,35 @@ step when skipping compression).  A real encoder keeps that effect
 measurable here: ``compression_level=0`` reproduces the "skip compression"
 ablation, and the opt-in ``workers`` parameter makes the *parallel-encoder*
 ablation a first-class measurable config: pigz-style row-band chunking,
-each band raw-deflated on a thread pool (zlib releases the GIL), stitched
-into a single valid zlib stream in one IDAT chunk.  Each band's compressor
-is primed (``zdict``) with the 32 KiB of raw data preceding the band, so
-back-references across band boundaries resolve exactly as they would in a
-serial stream and any standard inflater decodes the result.
+each band raw-deflated in parallel, stitched into a single valid zlib
+stream in one IDAT chunk.  Each band's compressor is primed (``zdict``)
+with the 32 KiB of raw data preceding the band, so back-references across
+band boundaries resolve exactly as they would in a serial stream and any
+standard inflater decodes the result.
+
+Two parallel codecs share that banding, selected by ``codec``:
+
+- ``"thread"``: bands compress on a :class:`ThreadPoolExecutor`.  zlib
+  releases the GIL *inside* ``compress()``, but the per-band Python
+  bookkeeping (slicing, dict priming, stitching) still serializes --
+  which is exactly the red ``png_parallel_deflate`` benchmark.
+- ``"process"``: bands compress on a persistent
+  :class:`ProcessPoolExecutor` codec pool, fully off the GIL.  The raw
+  scanline buffer ships to the workers through a named shared-memory
+  segment (the same shm layer the process SPMD backend uses) so no band
+  bytes are pickled; each worker attaches, deflates its zdict-primed
+  band, and returns only the compressed bytes.  The pool persists across
+  encodes (fork/spawn cost is amortized; a forked child never reuses the
+  parent's pool), while the staging segment is created and unlinked per
+  encode so nothing survives in ``/dev/shm``.
+- ``"auto"`` (default): ``"process"`` for raw buffers of at least
+  :data:`_PROCESS_MIN_BYTES`, ``"thread"`` below -- small images never
+  pay process-pool dispatch.
+
+Band compression is deterministic, so both codecs produce *byte-identical*
+streams for the same (image, level, workers, chunk_rows); the serial
+(``workers=0``) single-stream output is byte-different but decodes to the
+identical pixels.
 
 Supported: 8-bit grayscale (color type 0) and 8-bit RGB (color type 2),
 which covers every image the infrastructures write.  The decoder implements
@@ -21,11 +45,15 @@ these formats.
 
 from __future__ import annotations
 
+import itertools
+import os
 import struct
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
+
+from repro.mpi.shm import segment_name
 
 _SIGNATURE = b"\x89PNG\r\n\x1a\n"
 
@@ -77,19 +105,130 @@ def _zlib_header(level: int) -> bytes:
     return bytes((cmf, flg))
 
 
+#: ``codec="auto"`` dispatches to the process pool only for raw scanline
+#: buffers at least this large; below it, pool dispatch costs more than the
+#: GIL contention it removes.
+_PROCESS_MIN_BYTES = 1 << 20
+
+_CODECS = ("auto", "thread", "process", "serial")
+
+#: The persistent codec pool (created on first process-codec encode).  A
+#: forked child inherits the parent's pool object but not its workers'
+#: queues in a usable state, so the pid stamp invalidates it on fork.
+_POOL: "ProcessPoolExecutor | None" = None
+_POOL_WORKERS = 0
+_POOL_PID = 0
+
+#: Staging segments are named per encode and unlinked before the encode
+#: returns; the counter only guarantees uniqueness within this process.
+_STAGE_COUNTER = itertools.count()
+
+
+def _codec_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent process codec pool, (re)built as needed.
+
+    Rebuilds when this is a forked child of the pool's creator (the
+    inherited executor is unusable and its processes belong to the parent)
+    or when more workers are requested than the pool holds.  A larger
+    existing pool is reused as-is -- band bounds, not pool size, determine
+    the output bytes, so the stream stays deterministic.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_PID
+    if _POOL is not None and (_POOL_PID != os.getpid() or _POOL_WORKERS < workers):
+        if _POOL_PID == os.getpid():
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+    if _POOL is None:
+        # One shared resource tracker *before* the pool forks, for the same
+        # reason the process SPMD backend does it: per-child trackers never
+        # observe the parent's unlink and warn about clean consumes.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+        _POOL_PID = os.getpid()
+    return _POOL
+
+
+def _compress_band_shm(name: str, b0: int, b1: int, level: int, last: bool) -> bytes:
+    """Codec-pool worker: deflate one zdict-primed band out of a segment.
+
+    Runs in a pool process; attaches the staging segment by name, reads
+    only its band plus the 32 KiB priming window, and returns the
+    compressed bytes.  Identical inputs to the thread codec's band closure,
+    so identical output bytes.
+    """
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        lo = max(0, b0 - _WINDOW)
+        blob = bytes(seg.buf[lo:b1])
+        split = b0 - lo
+        co = zlib.compressobj(
+            level, zlib.DEFLATED, -15, 9, zlib.Z_DEFAULT_STRATEGY, blob[:split]
+        )
+        body = co.compress(blob[split:])
+        return body + co.flush(zlib.Z_FINISH if last else zlib.Z_SYNC_FLUSH)
+    finally:
+        seg.close()
+
+
+def _deflate_bands_process(
+    raw: bytes, bounds: list[tuple[int, int]], level: int, workers: int
+) -> list[bytes]:
+    """Compress all bands on the codec pool; raw bytes ride shared memory.
+
+    The staging segment exists only for the duration of this call: created,
+    filled, read by the workers, and unlinked before returning -- nothing
+    survives in ``/dev/shm``.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    resource_tracker.ensure_running()
+    pool = _codec_pool(workers)
+    name = segment_name(f"png{os.getpid():x}", 0, next(_STAGE_COUNTER))
+    seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, len(raw)))
+    try:
+        seg.buf[: len(raw)] = raw
+        last = len(bounds) - 1
+        futures = [
+            pool.submit(_compress_band_shm, name, b0, b1, level, i == last)
+            for i, (b0, b1) in enumerate(bounds)
+        ]
+        return [f.result() for f in futures]
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - external sweep raced
+            pass
+
+
 def _deflate_parallel(
-    raw: bytes, row_bytes: int, level: int, workers: int, chunk_rows: int | None
+    raw: bytes,
+    row_bytes: int,
+    level: int,
+    workers: int,
+    chunk_rows: int | None,
+    codec: str = "thread",
 ) -> bytes:
     """pigz-style chunked deflate of ``raw`` into one valid zlib stream.
 
     ``raw`` is split at scanline boundaries into row bands; each band is
-    compressed as an independent *raw* deflate member on a thread pool and
-    terminated with ``Z_SYNC_FLUSH`` (byte-aligned, no final block), except
-    the last band which finishes the stream.  Because band ``i``'s
-    compressor is primed with the 32 KiB of raw input immediately preceding
-    it, its back-references point at bytes the inflater has already
-    reconstructed -- so the concatenation, wrapped with a zlib header and
-    the adler32 of the whole raw buffer, inflates to exactly ``raw``.
+    compressed as an independent *raw* deflate member and terminated with
+    ``Z_SYNC_FLUSH`` (byte-aligned, no final block), except the last band
+    which finishes the stream.  Because band ``i``'s compressor is primed
+    with the 32 KiB of raw input immediately preceding it, its
+    back-references point at bytes the inflater has already reconstructed
+    -- so the concatenation, wrapped with a zlib header and the adler32 of
+    the whole raw buffer, inflates to exactly ``raw``.
+
+    ``codec`` picks where the bands compress (see the module docstring);
+    both executors produce byte-identical streams.  The process codec
+    falls back to threads if the pool or the staging segment cannot be
+    created (e.g. shared memory exhausted).
     """
     n_rows = len(raw) // row_bytes
     if chunk_rows is None:
@@ -100,18 +239,27 @@ def _deflate_parallel(
     starts = [r * row_bytes for r in range(0, n_rows, chunk_rows)]
     bounds = list(zip(starts, starts[1:] + [len(raw)]))
     last = len(bounds) - 1
+    parts: "list[bytes] | None" = None
+    if codec == "process":
+        try:
+            parts = _deflate_bands_process(raw, bounds, level, workers)
+        except OSError:  # pragma: no cover - shm/pool exhausted
+            parts = None
+    if parts is None:
 
-    def compress(item: tuple[int, tuple[int, int]]) -> bytes:
-        i, (b0, b1) = item
-        zdict = raw[max(0, b0 - _WINDOW) : b0]
-        co = zlib.compressobj(
-            level, zlib.DEFLATED, -15, 9, zlib.Z_DEFAULT_STRATEGY, zdict
-        )
-        body = co.compress(raw[b0:b1])
-        return body + co.flush(zlib.Z_FINISH if i == last else zlib.Z_SYNC_FLUSH)
+        def compress(item: tuple[int, tuple[int, int]]) -> bytes:
+            i, (b0, b1) = item
+            zdict = raw[max(0, b0 - _WINDOW) : b0]
+            co = zlib.compressobj(
+                level, zlib.DEFLATED, -15, 9, zlib.Z_DEFAULT_STRATEGY, zdict
+            )
+            body = co.compress(raw[b0:b1])
+            return body + co.flush(
+                zlib.Z_FINISH if i == last else zlib.Z_SYNC_FLUSH
+            )
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        parts = list(pool.map(compress, enumerate(bounds)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(compress, enumerate(bounds)))
     adler = zlib.adler32(raw) & 0xFFFFFFFF
     return _zlib_header(level) + b"".join(parts) + struct.pack(">I", adler)
 
@@ -121,14 +269,20 @@ def encode_png(
     compression_level: int = 6,
     workers: int | None = None,
     chunk_rows: int | None = None,
+    codec: str = "auto",
 ) -> bytes:
     """Encode ``(h, w)`` grayscale or ``(h, w, 3)`` RGB uint8 to PNG bytes.
 
     ``compression_level`` maps straight to zlib (0 = store, 9 = max); the
     Table 2 ablation sweeps it.  ``workers=None``/``0`` is the paper's
     serial rank-0 encoder; ``workers >= 1`` opts into the parallel chunked
-    deflate (``chunk_rows`` rows per band, default ~4 bands per worker).
-    Both paths decode to identical pixels.
+    deflate (``chunk_rows`` rows per band, default ~4 bands per worker),
+    with ``codec`` selecting the executor: ``"thread"``, ``"process"``
+    (persistent codec pool, bands via shared memory), ``"serial"`` (ignore
+    ``workers``), or ``"auto"`` -- the process pool for raw buffers of at
+    least :data:`_PROCESS_MIN_BYTES` when ``workers > 1``, threads below.
+    All paths decode to identical pixels; the two parallel codecs produce
+    byte-identical files.
     """
     a = np.asarray(image)
     if a.dtype != np.uint8:
@@ -145,15 +299,23 @@ def encode_png(
         raise PNGError("compression_level must be in 0..9")
     if workers is not None and workers < 0:
         raise PNGError("workers must be non-negative")
+    if codec not in _CODECS:
+        raise PNGError(f"codec must be one of {_CODECS}, got {codec!r}")
     h, w = a.shape[:2]
     if h == 0 or w == 0:
         raise PNGError("image must be non-empty")
     ihdr = struct.pack(">IIBBBBB", w, h, 8, color_type, 0, 0, 0)
     # Raw scanlines, each prefixed with filter type 0 (None).
     raw = _raw_scanlines(a, h, w * channels).tobytes()
-    if workers:
+    if workers and codec != "serial":
+        if codec == "auto":
+            codec = (
+                "process"
+                if workers > 1 and len(raw) >= _PROCESS_MIN_BYTES
+                else "thread"
+            )
         idat = _deflate_parallel(
-            raw, w * channels + 1, compression_level, workers, chunk_rows
+            raw, w * channels + 1, compression_level, workers, chunk_rows, codec
         )
     else:
         idat = zlib.compress(raw, compression_level)
@@ -260,10 +422,14 @@ def decode_png(data: bytes) -> np.ndarray:
 
 
 def write_png(
-    path, image: np.ndarray, compression_level: int = 6, workers: int | None = None
+    path,
+    image: np.ndarray,
+    compression_level: int = 6,
+    workers: int | None = None,
+    codec: str = "auto",
 ) -> int:
     """Encode and write; returns the encoded byte count."""
-    blob = encode_png(image, compression_level, workers=workers)
+    blob = encode_png(image, compression_level, workers=workers, codec=codec)
     with open(path, "wb") as fh:
         fh.write(blob)
     return len(blob)

@@ -1,0 +1,145 @@
+"""Equivalence gates for the optional numba acceleration tier.
+
+The :mod:`repro.accel` contract: the numpy reference implementations are
+the source of truth, and the jitted variants must be indistinguishable --
+rtol 1e-12 for the accumulate-order-sensitive matvec, byte-identity for
+packing and compositing.  The container this suite normally runs in does
+NOT ship numba, so the numpy-fallback paths are what execute here; the
+jitted-vs-reference assertions are additionally exercised when numba is
+importable (same test functions -- the dispatch happens inside accel).
+The suite must pass identically in both configurations.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import accel
+from repro.miniapp.kernel_cache import FieldKernelCache
+from repro.miniapp.oscillator import Oscillator
+from repro.render.compositing import composite_over, composite_over_into
+from repro.render.rasterize import RenderedImage
+
+
+def _rng():
+    return np.random.default_rng(20160813)
+
+
+def _random_image(rng, h=33, w=47, with_depth=True, coverage=0.6):
+    rgb = rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+    alpha = np.where(rng.random((h, w)) < coverage, 255, 0).astype(np.uint8)
+    depth = None
+    if with_depth:
+        depth = rng.random((h, w)).astype(np.float32)
+        depth[alpha == 0] = np.inf
+    rgb[alpha == 0] = 0
+    return RenderedImage(rgb, alpha, depth)
+
+
+class TestMatvec:
+    def test_matches_blas_reference(self):
+        rng = _rng()
+        basis = rng.standard_normal((1024, 7))
+        values = rng.standard_normal(7)
+        out = np.empty(1024)
+        got = accel.matvec_into(basis, values, out)
+        assert got is out
+        np.testing.assert_allclose(out, basis @ values, rtol=1e-12, atol=0.0)
+
+    def test_kernel_cache_dispatches_through_accel(self):
+        x, y, z = np.meshgrid(
+            np.linspace(0, 1, 6), np.linspace(0, 1, 5), np.linspace(0, 1, 4),
+            indexing="ij",
+        )
+        oscs = [
+            Oscillator("damped", (0.3, 0.4, 0.5), radius=0.5, omega=3.0, zeta=0.1),
+            Oscillator("periodic", (0.7, 0.6, 0.2), radius=0.4, omega=5.0),
+        ]
+        cache = FieldKernelCache(oscs, x, y, z)
+        out = cache.evaluate(t=0.37)
+        ref = cache.basis @ cache.time_values(0.37)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=0.0)
+
+
+class TestPackContiguous:
+    def test_strided_face_view_bytes_identical(self):
+        rng = _rng()
+        vol = rng.standard_normal((9, 8, 7))
+        for view in (vol[2:4, :, :], vol[:, 3:5, :], vol[:, :, 1:3], vol[::2, 1:, :-1]):
+            packed = accel.pack_contiguous(view)
+            assert packed.flags.c_contiguous
+            assert packed.tobytes() == np.ascontiguousarray(view).tobytes()
+
+    def test_contiguous_input_is_identity(self):
+        arr = np.arange(24.0).reshape(2, 3, 4)
+        assert accel.pack_contiguous(arr) is arr
+
+
+class TestComposite:
+    @pytest.mark.parametrize("with_depth", [True, False])
+    def test_into_matches_allocating_reference(self, with_depth):
+        rng = _rng()
+        front = _random_image(rng, with_depth=with_depth)
+        back = _random_image(rng, with_depth=with_depth)
+        ref = composite_over(front.copy(), back.copy())
+        out = composite_over_into(front, back.copy())
+        assert out.rgb.tobytes() == ref.rgb.tobytes()
+        assert out.alpha.tobytes() == ref.alpha.tobytes()
+        if with_depth:
+            assert out.depth.tobytes() == ref.depth.tobytes()
+
+    def test_aliasing_out_is_front_safe(self):
+        rng = _rng()
+        front = _random_image(rng)
+        back = _random_image(rng)
+        ref = composite_over(front.copy(), back.copy())
+        out = composite_over_into(front, back, out=front)
+        assert out is front
+        assert out.rgb.tobytes() == ref.rgb.tobytes()
+        assert out.alpha.tobytes() == ref.alpha.tobytes()
+        assert out.depth.tobytes() == ref.depth.tobytes()
+
+    def test_accel_entry_point_contract(self):
+        rng = _rng()
+        front = _random_image(rng)
+        back = _random_image(rng)
+        out = back.copy()
+        handled = accel.composite_into(
+            out.rgb, out.alpha, out.depth,
+            front.rgb, front.alpha, front.depth,
+            back.rgb, back.alpha, back.depth,
+        )
+        assert handled == accel.HAVE_NUMBA
+        if handled:
+            ref = composite_over(front, back)
+            assert out.rgb.tobytes() == ref.rgb.tobytes()
+            assert out.alpha.tobytes() == ref.alpha.tobytes()
+            assert out.depth.tobytes() == ref.depth.tobytes()
+
+
+class TestDetection:
+    def test_kill_switch_disables_tier(self):
+        # A fresh interpreter with REPRO_NUMBA=0 must report the tier off
+        # regardless of whether numba is installed.
+        code = "from repro import accel; print(accel.HAVE_NUMBA)"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src", "REPRO_NUMBA": "0", "PATH": "/usr/bin:/bin"},
+            cwd=".",
+        )
+        assert out.stdout.strip() == "False"
+
+    def test_tier_off_without_numba(self):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            assert accel.HAVE_NUMBA is False
+        else:  # pragma: no cover - container ships no numba
+            pytest.skip("numba installed; detection covered by kill switch test")

@@ -256,3 +256,64 @@ class TestParallelDeflate:
         img = rng.integers(0, 256, (h, w, 3), dtype=np.uint8)
         blob = encode_png(img, level, workers=workers)
         assert np.array_equal(decode_png(blob), img)
+
+
+class TestCodecSelection:
+    """The GIL-free codec-pool path must be a pure transport change: the
+    thread and process codecs band identically, so their PNG bytes are
+    identical; the serial codec is one unbanded zlib stream (different
+    bytes by construction) but decodes to the same pixels."""
+
+    def _structured(self, h, w):
+        y, x = np.mgrid[0:h, 0:w]
+        v = ((np.sin(x / 9.0) + np.cos(y / 7.0) + 2) * 60).astype(np.uint8)
+        return np.stack([v, 255 - v, v // 2], axis=-1)
+
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_thread_and_process_codecs_byte_identical(self, level):
+        img = self._structured(96, 80)
+        thread = encode_png(img, level, workers=3, codec="thread")
+        process = encode_png(img, level, workers=3, codec="process")
+        assert thread == process
+
+    def test_serial_codec_pixel_identical(self):
+        img = self._structured(64, 48)
+        serial = encode_png(img, 6, workers=3, codec="serial")
+        banded = encode_png(img, 6, workers=3, codec="thread")
+        assert serial == encode_png(img, 6, workers=0)
+        assert np.array_equal(decode_png(serial), decode_png(banded))
+
+    def test_auto_picks_threads_below_process_floor(self):
+        """A small image must not pay process-pool dispatch: auto and
+        thread produce identical bytes (same banding either way, but this
+        pins the dispatch decision's observable output)."""
+        img = self._structured(32, 32)
+        assert encode_png(img, 6, workers=2, codec="auto") == encode_png(
+            img, 6, workers=2, codec="thread"
+        )
+
+    def test_forced_process_on_small_image_still_identical(self):
+        img = self._structured(9, 13)
+        assert encode_png(img, 6, workers=2, codec="process") == encode_png(
+            img, 6, workers=2, codec="thread"
+        )
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(PNGError, match="codec"):
+            encode_png(np.zeros((4, 4), dtype=np.uint8), codec="gpu")
+
+    def test_write_png_codec_passthrough(self, tmp_path):
+        img = self._structured(24, 24)
+        p = tmp_path / "codec.png"
+        n = write_png(p, img, workers=2, codec="process")
+        assert p.stat().st_size == n
+        assert p.read_bytes() == encode_png(img, workers=2, codec="thread")
+
+    def test_process_codec_leaves_no_segments(self):
+        """The staging segment is created and unlinked per encode; the
+        autouse shm leak guard enforces the rest, this asserts eagerly."""
+        from repro.mpi import shm as shm_mod
+
+        img = self._structured(128, 64)
+        encode_png(img, 6, workers=2, codec="process")
+        assert shm_mod.list_segments() == []

@@ -273,6 +273,37 @@ class TestFramebufferPool:
         assert mem.named("test::pool") == 0
         assert mem.current == 0
 
+    def test_release_beyond_cap_evicts(self):
+        """A resolution change must not pin the old resolution's buffers:
+        releases beyond MAX_FREE_PER_KEY are dropped and uncharged."""
+        mem = MemoryTracker()
+        pool = FramebufferPool(memory=mem, label="test::pool")
+        imgs = [pool.acquire(8, 8) for _ in range(pool.MAX_FREE_PER_KEY + 2)]
+        nbytes = imgs[0].nbytes
+        for img in imgs:
+            pool.release(img)
+        assert pool.evictions == 2
+        assert pool.allocated_nbytes == pool.MAX_FREE_PER_KEY * nbytes
+        assert mem.named("test::pool") == pool.MAX_FREE_PER_KEY * nbytes
+        # The free list is capped: the next acquire is a hit, not a miss.
+        pool.acquire(8, 8)
+        assert pool.hits == 1
+
+    def test_record_gauges(self):
+        from repro.trace import TraceRecorder
+
+        pool = FramebufferPool(label="test::pool")
+        pool.release(pool.acquire(8, 8))
+        pool.acquire(8, 8)
+        rec = TraceRecorder(rank=0)
+        pool.record_gauges(rec)
+        assert rec.total("test::pool::hits") == 1
+        assert rec.total("test::pool::misses") == 1
+        assert rec.total("test::pool::evictions") == 0
+        assert rec.total("test::pool::allocated_nbytes") == pool.allocated_nbytes
+        pool.record_gauges(rec, prefix="other")
+        assert rec.total("other::hits") == 1
+
 
 def _rank_band_image(comm, width=16, height=32, with_depth=False):
     """Each rank renders a horizontal band of rows with its own color."""

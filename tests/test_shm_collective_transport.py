@@ -1,0 +1,243 @@
+"""Cross-transport equivalence for pooled shared-memory collectives.
+
+The process backend ships ndarray collective contributions three ways:
+pickled inline envelopes (below the spill threshold), pooled shared-memory
+segments (at or above it), and -- on the thread backend -- no transport at
+all.  The contract is that the choice is *invisible*: every collective
+returns bit-identical results on all three, including Fortran-order and
+non-contiguous inputs, and large-array collectives serialize zero array
+bytes (the ``mpi::<kind>::bytes::{shm,pickled}`` counter split proves it).
+
+The transports are forced through ``REPRO_SPMD_SHM_THRESHOLD``: ``1``
+pools every array, ``0`` disables the segment path entirely, unset leaves
+the 64 KiB default (the mixed production configuration).
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.chaos import run_chaos
+from repro.mpi import run_spmd
+from repro.mpi.ops import MAX, PROD, SUM
+from repro.trace import TraceSession
+
+#: transport name -> (backend, forced REPRO_SPMD_SHM_THRESHOLD or None).
+TRANSPORTS = {
+    "thread": ("thread", None),
+    "process-shm": ("process", "1"),
+    "process-pickled": ("process", "0"),
+    "process-default": ("process", None),
+}
+
+
+def _run(transport, prog, nranks=3, **kwargs):
+    backend, threshold = TRANSPORTS[transport]
+    previous = os.environ.get("REPRO_SPMD_SHM_THRESHOLD")
+    if threshold is None:
+        os.environ.pop("REPRO_SPMD_SHM_THRESHOLD", None)
+    else:
+        os.environ["REPRO_SPMD_SHM_THRESHOLD"] = threshold
+    try:
+        return run_spmd(nranks, prog, backend=backend, timeout=60.0, **kwargs)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SPMD_SHM_THRESHOLD", None)
+        else:
+            os.environ["REPRO_SPMD_SHM_THRESHOLD"] = previous
+
+
+def _make_array(rank, seed, n, dtype, layout):
+    """Deterministic per-rank array in the requested memory layout.
+
+    ``sliced`` builds a larger buffer and returns a strided view --
+    the non-contiguous case the segment packer must copy correctly.
+    """
+    rng = np.random.default_rng(seed * 1000 + rank)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        base = rng.integers(1, 5, size=2 * n).astype(dtype)
+    else:
+        base = rng.random(2 * n).astype(dtype)
+    if layout == "sliced":
+        return base[::2]
+    if layout == "fortran":
+        return np.asfortranarray(base[:n].reshape(8, -1))
+    return base[:n]
+
+
+def _fingerprint(tree):
+    """Recursive bytes-level fingerprint of a result tree."""
+    if isinstance(tree, np.ndarray):
+        return ("nd", tree.shape, tree.dtype.str, tree.tobytes())
+    if isinstance(tree, (list, tuple)):
+        return (type(tree).__name__, tuple(_fingerprint(v) for v in tree))
+    if isinstance(tree, dict):
+        return ("dict", tuple(sorted((k, _fingerprint(v)) for k, v in tree.items())))
+    return tree
+
+
+class TestTransportEquivalence:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.sampled_from([64, 1024, 16384]),  # spans <64 KiB and >=64 KiB
+        dtype=st.sampled_from(["f8", "i8", "f4"]),
+        layout=st.sampled_from(["c", "fortran", "sliced"]),
+        op=st.sampled_from([SUM, MAX, PROD]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_allreduce_and_gather_bit_identical(self, seed, n, dtype, layout, op):
+        def prog(comm):
+            a = _make_array(comm.rank, seed, n, dtype, layout)
+            red = comm.allreduce(a, op=op)
+            gat = comm.gather(a, root=0)
+            return _fingerprint((red, gat))
+
+        results = {t: _run(t, prog) for t in ("thread", "process-shm", "process-pickled")}
+        assert results["thread"] == results["process-shm"] == results["process-pickled"]
+
+    @pytest.mark.parametrize("layout", ["c", "fortran", "sliced"])
+    def test_every_collective_bit_identical(self, layout):
+        """All collectives, 512 KiB payloads (pooled under the default
+        threshold), across all four transports."""
+        n = 65536  # 512 KiB of float64
+
+        def prog(comm):
+            a = _make_array(comm.rank, 7, n, "f8", layout)
+            out = {
+                "allreduce": comm.allreduce(a),
+                "reduce": comm.reduce(a, op=MAX, root=1),
+                "allgather": comm.allgather(a),
+                "gather": comm.gather(a, root=0),
+                "bcast": comm.bcast(a if comm.rank == 2 else None, root=2),
+                "scatter": comm.scatter(
+                    [a * r for r in range(comm.size)] if comm.rank == 0 else None,
+                    root=0,
+                ),
+                "alltoall": comm.alltoall([a + r for r in range(comm.size)]),
+                "exscan": comm.exscan(a),
+            }
+            return {k: _fingerprint(v) for k, v in out.items()}
+
+        results = {t: _run(t, prog) for t in TRANSPORTS}
+        ref = results.pop("thread")
+        for transport, got in results.items():
+            assert got == ref, transport
+
+    def test_mixed_payload_trees_bit_identical(self):
+        """Tuples mixing large arrays, small arrays, and scalars: the
+        packer pools the big leaves, inlines the rest."""
+
+        def prog(comm):
+            big = np.full(20000, float(comm.rank + 1))
+            small = np.arange(4, dtype=np.int32) + comm.rank
+            val = (big, {"rank": comm.rank, "small": small}, comm.rank * 0.5)
+            return _fingerprint(comm.allgather(val))
+
+        results = {t: _run(t, prog) for t in TRANSPORTS}
+        ref = results.pop("thread")
+        for transport, got in results.items():
+            assert got == ref, transport
+
+
+class TestZeroSerialization:
+    def test_large_collectives_pickle_zero_array_bytes(self):
+        """The headline perf claim: with pooling on, no array byte of a
+        large-ndarray collective crosses a pipe.  The per-kind byte
+        counters are split by transport; the pickled share must be zero
+        and the shm share must carry the full payload."""
+        n = 65536  # 512 KiB, far above the 64 KiB default threshold
+        kinds = ("allreduce", "allgather", "gather", "bcast", "alltoall")
+
+        def prog(comm):
+            a = np.full(n, float(comm.rank + 1))
+            comm.allreduce(a)
+            comm.allgather(a)
+            comm.gather(a, root=0)
+            comm.bcast(a if comm.rank == 0 else None, root=0)
+            comm.alltoall([a] * comm.size)
+
+        sess = TraceSession("zero-serialization")
+        _run("process-default", prog, trace=sess)
+        for rank in sess.ranks:
+            rec = sess.recorder(rank)
+            for kind in kinds:
+                stem = f"mpi::{kind}::bytes"
+                total = rec.total(stem)
+                if kind == "bcast" and rank != 0:
+                    # Non-root ranks contribute None to bcast: no payload.
+                    assert total == 0, (rank, kind)
+                else:
+                    assert total >= n * 8, (rank, kind)
+                assert rec.total(f"{stem}::pickled") == 0, (rank, kind)
+                assert rec.total(f"{stem}::shm") == total, (rank, kind)
+
+    def test_small_collectives_ride_pickled_envelopes(self):
+        """Below the threshold the pool must stay out of the way: all
+        bytes pickled, none mapped."""
+
+        def prog(comm):
+            comm.allreduce(np.arange(16, dtype=np.float64) + comm.rank)
+
+        sess = TraceSession("small-pickled")
+        _run("process-default", prog, trace=sess)
+        for rank in sess.ranks:
+            rec = sess.recorder(rank)
+            total = rec.total("mpi::allreduce::bytes")
+            assert total == 16 * 8
+            assert rec.total("mpi::allreduce::bytes::shm") == 0
+            assert rec.total("mpi::allreduce::bytes::pickled") == total
+
+    def test_pool_gauges_report_ring_reuse(self):
+        """A step loop reusing one (comm, slot) ring must show pool hits
+        dominating misses: RING_DEPTH misses per shape, hits thereafter."""
+
+        def prog(comm):
+            a = np.full(20000, float(comm.rank))
+            for _ in range(6):
+                comm.allreduce(a)
+
+        sess = TraceSession("pool-gauges")
+        _run("process-default", prog, trace=sess)
+        for rank in sess.ranks:
+            rec = sess.recorder(rank)
+            assert rec.total("shm::pool::misses") == 2  # ring depth
+            assert rec.total("shm::pool::hits") == 4
+            assert rec.total("shm::pool::evictions") == 0
+            assert rec.total("shm::pool::bytes_packed") == 6 * 20000 * 8
+
+
+class TestChaosWithShmCollectives:
+    def test_chaos_artifacts_invariant_to_transport(self, tmp_path):
+        """Regression gate for the fault-injection draw order: the chaos
+        pipeline's artifacts must be byte-identical on the process backend
+        whether collectives ride pooled segments or pickled envelopes."""
+        dirs = {}
+        previous = os.environ.get("REPRO_SPMD_SHM_THRESHOLD")
+        os.environ["REPRO_SPMD_BACKEND"] = "process"
+        try:
+            for name, threshold in (("shm", "1"), ("pickled", "0")):
+                os.environ["REPRO_SPMD_SHM_THRESHOLD"] = threshold
+                out = str(tmp_path / name)
+                run_chaos(seed=42, ranks=3, steps=6, out_dir=out, timeout=60.0)
+                dirs[name] = out
+        finally:
+            os.environ.pop("REPRO_SPMD_BACKEND", None)
+            if previous is None:
+                os.environ.pop("REPRO_SPMD_SHM_THRESHOLD", None)
+            else:
+                os.environ["REPRO_SPMD_SHM_THRESHOLD"] = previous
+
+        d1, d2 = dirs["shm"], dirs["pickled"]
+        names = []
+        for root, _, files in os.walk(d1):
+            rel = os.path.relpath(root, d1)
+            names.extend(os.path.join(rel, f) for f in files)
+        assert names
+        for name in sorted(names):
+            with open(os.path.join(d1, name), "rb") as f1, open(
+                os.path.join(d2, name), "rb"
+            ) as f2:
+                assert f1.read() == f2.read(), name
