@@ -1,0 +1,4 @@
+from repro.analyze import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,8 @@
     python -m repro run fig10         # one experiment's rows
     python -m repro run all           # everything
     python -m repro run table1 fig17  # a subset
-    python -m repro lint src/         # repo-contract linter
+    python -m repro lint src/         # legacy repo-contract linter (5 rules)
+    python -m repro analyze src/      # full CFG/dataflow static analyzer
     python -m repro chaos --seed 42   # seeded fault-injection harness
     python -m repro report trace.json # Sec. 4.1.1 phase breakdown of a trace
     python -m repro report measured.json --against modeled.json   # model diff
@@ -39,13 +40,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment names (see 'list'), or 'all'",
     )
     lint = sub.add_parser(
-        "lint", help="run the repo-contract linter (see repro.lint)"
+        "lint",
+        help=(
+            "run the legacy repo-contract linter (five PR 2 rules; alias "
+            "over repro.analyze)"
+        ),
     )
     lint.add_argument(
         "paths", nargs="*", help="files or directories (default: src/)"
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    analyze = sub.add_parser(
+        "analyze",
+        help=(
+            "run the CFG/dataflow static analyzer (collective matching, "
+            "resource typestate, fork safety; see repro.analyze)"
+        ),
+    )
+    analyze.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments for python -m repro.analyze (paths, --format, ...)",
     )
     report = sub.add_parser(
         "report",
@@ -173,6 +190,14 @@ def _report_main(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        # Forward verbatim: argparse's REMAINDER does not capture a leading
+        # option (e.g. ``repro analyze --list-rules``).
+        from repro.analyze import main as analyze_main
+
+        return analyze_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         from repro.lint import main as lint_main

@@ -1,30 +1,28 @@
-"""AST-based repo-contract linter: ``python -m repro.lint src/``.
+"""Back-compat repo-contract linter: ``python -m repro.lint src/``.
 
-Static counterpart of the runtime sanitizers.  Parses every Python file and
-enforces the project invariants catalogued in :mod:`repro.lint.rules` --
-contracts the paper's measurement methodology depends on but that Python
-will not check for us.
+As of the :mod:`repro.analyze` engine, this package is an **alias**: the
+five historical contract rules live in
+:mod:`repro.analyze.checkers.contracts` and run through the analyzer's
+checker framework; this module keeps the old entry points
+(:func:`lint_source`, :func:`lint_paths`, :func:`main`), the
+:class:`Violation` type, the ``# lint: allow(rule-id)`` pragma syntax,
+and the 0/1/2 exit-status contract exactly as before.
 
-Waivers: a violation is suppressed by a pragma comment on the flagged line
-or the line directly above it::
-
-    comm.gather(None, root=root)  # lint: allow(collective-in-rank-branch)
-
-Exit status is 0 when the tree is clean, 1 when violations are reported,
-2 on usage/IO errors.
+The full engine -- CFG path enumeration, collective matching, resource
+typestate, fork safety -- is ``python -m repro.analyze``; use it for
+anything beyond the legacy five rules.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
 import os
-import re
 import sys
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.lint.rules import ALL_RULES, Rule
+from repro.analyze import _iter_python_files, analyze_source
+from repro.analyze.checkers.contracts import ALL_RULES, CONTRACT_CHECKERS, Rule
 
 __all__ = [
     "ALL_RULES",
@@ -35,8 +33,6 @@ __all__ = [
     "lint_paths",
     "main",
 ]
-
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(([a-z0-9_,\s-]+)\)")
 
 
 @dataclass(frozen=True)
@@ -51,74 +47,17 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule_id}] {self.message}"
 
 
-def _normalize(path: str) -> str:
-    return path.replace(os.sep, "/")
-
-
-def _waivers(source: str) -> dict[int, frozenset[str]]:
-    """Map line number -> rule ids waived on that line (pragma comments)."""
-    out: dict[int, frozenset[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA_RE.search(text)
-        if m:
-            out[lineno] = frozenset(
-                part.strip() for part in m.group(1).split(",") if part.strip()
-            )
-    return out
-
-
-def _waived(waivers: dict[int, frozenset[str]], line: int, rule_id: str) -> bool:
-    for probe in (line, line - 1):
-        rules = waivers.get(probe)
-        if rules and rule_id in rules:
-            return True
-    return False
-
-
 def lint_source(source: str, path: str = "<string>") -> list[Violation]:
     """Lint one module's source text; returns violations sorted by line."""
-    norm = _normalize(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                norm,
-                exc.lineno or 0,
-                (exc.offset or 1) - 1,
-                "syntax-error",
-                f"cannot parse: {exc.msg}",
-            )
-        ]
-    waivers = _waivers(source)
-    found: list[Violation] = []
-    for rule in ALL_RULES:
-        if any(exempt in norm for exempt in rule.exempt_paths):
-            continue
-        for line, col, message in rule.check(tree, norm):
-            if not _waived(waivers, line, rule.id):
-                found.append(Violation(norm, line, col, rule.id, message))
-    found.sort(key=lambda v: (v.line, v.col, v.rule_id))
-    return found
+    return [
+        Violation(f.path, f.line, f.col, f.rule_id, f.message)
+        for f in analyze_source(source, path, checkers=CONTRACT_CHECKERS)
+    ]
 
 
 def lint_file(path: str) -> list[Violation]:
     with open(path, "r", encoding="utf-8") as fh:
         return lint_source(fh.read(), path)
-
-
-def _iter_python_files(paths: Iterable[str]) -> Iterable[str]:
-    for path in paths:
-        if os.path.isdir(path):
-            for dirpath, dirnames, filenames in os.walk(path):
-                dirnames[:] = sorted(
-                    d for d in dirnames if d not in ("__pycache__", ".git")
-                )
-                for name in sorted(filenames):
-                    if name.endswith(".py"):
-                        yield os.path.join(dirpath, name)
-        else:
-            yield path
 
 
 def lint_paths(paths: Iterable[str]) -> list[Violation]:
@@ -132,7 +71,10 @@ def lint_paths(paths: Iterable[str]) -> list[Violation]:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based repo-contract linter for the repro codebase.",
+        description=(
+            "AST-based repo-contract linter for the repro codebase "
+            "(legacy alias of python -m repro.analyze)."
+        ),
     )
     parser.add_argument(
         "paths", nargs="*", help="files or directories to lint (default: src/)"

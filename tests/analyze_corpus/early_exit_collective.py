@@ -1,0 +1,14 @@
+"""Known-bad: a rank-dependent early return skips the collective sequence.
+
+Inactive ranks return before ``bcast``/``barrier``; active ranks block in
+them forever.  Expected finding: rank-divergent-collectives at the ``if``
+line.
+"""
+
+
+def step(comm, rank, payload):
+    if rank >= comm.size // 2:
+        return None
+    comm.bcast(payload)
+    comm.barrier()
+    return payload

@@ -1,0 +1,16 @@
+"""Known-bad: a pooled framebuffer is leaked on the empty-tiles path.
+
+The early return neither releases the buffer nor hands it off, so the
+pool grows a buffer per call.  Expected finding: framebuffer-release at
+the acquire line.
+"""
+
+
+def composite(pool, width, height, tiles):
+    out = pool.acquire(width, height)
+    for tile in tiles:
+        out[tile.sel] = tile.data
+    if not tiles:
+        return None
+    pool.release(out)
+    return None

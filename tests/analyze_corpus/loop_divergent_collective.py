@@ -1,0 +1,11 @@
+"""Known-bad: a collective inside a loop whose bound depends on the rank.
+
+Ranks with fewer iterations stop calling ``barrier`` while the others
+block in it forever.  Expected finding: collective-in-rank-loop at the
+``for`` line.
+"""
+
+
+def drain(comm, rank):
+    for _ in range(rank):
+        comm.barrier()

@@ -1,0 +1,17 @@
+"""Known-bad: a buffer is mutated in place after being sent.
+
+The transport only guarantees the payload bytes are captured by the next
+synchronization point; writing into ``scratch`` between ``send`` and the
+``barrier`` is latently racy.  Expected finding: mutate-after-send
+(warning) at the mutation line.
+"""
+
+import numpy as np
+
+
+def overlap(comm, field):
+    scratch = np.array(field, copy=True)
+    comm.send(scratch, dest=1, tag=7)
+    scratch[0] = 0.0
+    comm.barrier()
+    return scratch

@@ -1,0 +1,14 @@
+"""Known-bad: a collective guarded by a rank test deadlocks the job.
+
+Expected findings:
+- collective-in-rank-branch at the ``comm.reduce`` line (syntactic rule)
+- rank-divergent-collectives at the ``if`` line (path-sensitive rule:
+  the true path runs [reduce, barrier], the false path only [barrier])
+"""
+
+
+def exchange(comm, data):
+    if comm.rank == 0:
+        comm.reduce(data)
+    comm.barrier()
+    return data

@@ -1,0 +1,16 @@
+"""Known-bad: a created segment is only closed on one branch.
+
+On the even-length path the segment is neither closed nor unlinked: the
+mapping and the named segment both leak.  Expected finding: shm-lifecycle
+at the creation line, with the leaking branch as witness.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def stage(payload):
+    seg = SharedMemory(name="corpus-stage", create=True, size=len(payload))
+    seg.buf[: len(payload)] = payload
+    if len(payload) % 2:
+        seg.close()
+    return None

@@ -1,0 +1,18 @@
+"""Known-bad: a worker unlinks a segment it only attached to.
+
+Attachers (``create=False``) must ``close()`` and leave ``unlink()`` to
+the segment's owner; unlinking here destroys the name while other
+attachers may still need it.  Expected findings: shm-worker-unlink at the
+``unlink`` call, plus shm-lifecycle for the path where ``bytes(...)``
+raises before ``close()`` (no try/finally).
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def consume(name):
+    seg = SharedMemory(name=name)
+    data = bytes(seg.buf[:16])
+    seg.close()
+    seg.unlink()
+    return data

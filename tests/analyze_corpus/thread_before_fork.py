@@ -1,0 +1,20 @@
+"""Known-bad: a lock is created before a fork-based pool launch.
+
+The forked children inherit a copy of the lock's state; if any thread
+held it at fork time, no child thread exists to release it -- the classic
+fork-after-thread deadlock.  Expected finding: thread-before-fork at the
+pool launch line, with the path through the lock creation as witness.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def launch(tasks):
+    lock = threading.Lock()
+    results = []
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        for task in tasks:
+            with lock:
+                results.append(pool.submit(task))
+    return results

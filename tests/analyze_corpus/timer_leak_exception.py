@@ -1,0 +1,16 @@
+"""Known-bad: a timer leaks on the exception path.
+
+``comm.allreduce`` can raise between ``start()`` and ``stop()``; with no
+try/finally the timer is still running when the exception escapes, its
+interval is never recorded, and the next ``start()`` raises.  Expected
+finding: timer-typestate at the creation line, with a witness through the
+raising statement.
+"""
+
+
+def exchange(registry, comm, value):
+    t = registry.timer("exchange")
+    t.start()
+    total = comm.allreduce(value)
+    t.stop()
+    return total
