@@ -1,0 +1,118 @@
+"""Structured decision journal: the controller's replayable audit trail.
+
+Every controller decision -- including "hold" -- is recorded as one
+:class:`Decision` with the observation that triggered it, the belief state
+it updated, the configuration adopted, and the consensus/probe metadata.
+The journal serializes with sorted keys and fixed rounding so that two
+runs with the same seed (or the same run on the thread vs process SPMD
+backend) produce **byte-identical** JSON -- the property the determinism
+tests and the CI chaos-smoke replay gate assert with a plain ``diff``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def _round6(value: float) -> float:
+    """Journal-stable rounding; keeps float repr identical across runs."""
+    return round(float(value), 6)
+
+
+def _jsonable(value: float | None) -> float | None:
+    """JSON has no inf; an unbounded SLO term serializes as ``None``."""
+    if value is None:
+        return None
+    if math.isinf(value):
+        return None
+    return _round6(value)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One controller decision at the end of one simulation step.
+
+    ``action`` is one of ``hold`` (keep the configuration),
+    ``reconfigure`` (same placement, different knobs), ``degrade``
+    (in-transit -> in-line), or ``recover`` (in-line -> in-transit).
+    ``proposal``/``adopted`` are candidate indices into
+    :meth:`~repro.perf.control_model.ControlModel.candidate_configs`;
+    they differ only when the writer-group consensus overruled this
+    rank's local plan.  ``draw`` is the seeded unit draw consulted when a
+    staging probe was scheduled, ``None`` otherwise.
+    """
+
+    step: int
+    action: str
+    config: dict[str, Any]
+    previous: dict[str, Any] | None
+    observed: dict[str, float]
+    predicted: dict[str, float]
+    believed_derate: float
+    slo_violated: bool
+    probe: bool
+    proposal: int
+    adopted: int
+    draw: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "step": self.step,
+            "action": self.action,
+            "config": dict(self.config),
+            "previous": None if self.previous is None else dict(self.previous),
+            "observed": {k: _round6(v) for k, v in sorted(self.observed.items())},
+            "predicted": dict(self.predicted),
+            "believed_derate": _round6(self.believed_derate),
+            "slo_violated": self.slo_violated,
+            "probe": self.probe,
+            "proposal": self.proposal,
+            "adopted": self.adopted,
+            "draw": None if self.draw is None else _round6(self.draw),
+        }
+
+
+@dataclass
+class DecisionJournal:
+    """Append-only decision log for one controller instance.
+
+    ``mode`` records what the observations are: ``"spans"`` (per-step
+    phase seconds from the trace sensor) or ``"outcomes"`` (discrete
+    staging attempted/staged signals from the resilient transport).
+    """
+
+    seed: int
+    slo: dict[str, float | None] | None = None
+    mode: str = "spans"
+    entries: list[Decision] = field(default_factory=list)
+
+    def record(self, decision: Decision) -> Decision:
+        self.entries.append(decision)
+        return decision
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def action_sequence(self) -> list[tuple[int, str]]:
+        """The (step, action) pairs for every non-hold decision."""
+        return [
+            (d.step, d.action) for d in self.entries if d.action != "hold"
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "meta": {"seed": self.seed, "slo": self.slo, "mode": self.mode},
+            "decisions": [d.as_dict() for d in self.entries],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (sorted keys, 2-space indent, trailing
+        newline) -- the byte-identical-replay contract."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())

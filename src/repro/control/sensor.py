@@ -1,0 +1,57 @@
+"""Span sensor: per-step phase observations from the live trace feed.
+
+The *verify* leg of the loop.  A :class:`SpanSensor` subscribes to one
+rank's :class:`~repro.trace.TraceRecorder` and folds every completed
+**top-level** span into per-step phase buckets using the same
+:func:`~repro.trace.report.classify_span` taxonomy the post-hoc phase
+report uses -- so what the controller reacts to is exactly what
+``repro report`` would later print for that step.  Nested spans are
+skipped (their parents already account for them), as are spans with no
+step tag (one-time phases).
+
+The controller drains buckets *through* a step rather than exactly at it:
+the ``simulation::advance`` span that produced step N is closed before
+``set_step(N)`` runs, so it lands in the previous step's bucket and is
+swept up by ``drain(N)``.
+"""
+
+from __future__ import annotations
+
+from repro.trace.recorder import Span, TraceRecorder
+from repro.trace.report import PER_STEP, classify_span
+
+
+class SpanSensor:
+    """Aggregates a recorder's live span feed into per-step observations."""
+
+    def __init__(self, recorder: TraceRecorder) -> None:
+        self._recorder = recorder
+        #: step -> phase -> accumulated seconds.
+        self._acc: dict[int, dict[str, float]] = {}
+        recorder.subscribe(self._on_span)
+
+    def close(self) -> None:
+        """Detach from the recorder (idempotent)."""
+        self._recorder.unsubscribe(self._on_span)
+
+    def _on_span(self, span: Span) -> None:
+        if span.parent is not None or span.step is None:
+            return
+        phase, kind = classify_span(span.name)
+        if kind != PER_STEP:
+            return
+        bucket = self._acc.setdefault(span.step, {})
+        bucket[phase] = bucket.get(phase, 0.0) + span.duration
+
+    def pending_steps(self) -> list[int]:
+        return sorted(self._acc)
+
+    def drain(self, step: int) -> dict[str, float]:
+        """Pop and merge every bucket for steps ``<= step``."""
+        merged: dict[str, float] = {}
+        for s in sorted(self._acc):
+            if s > step:
+                break
+            for phase, seconds in self._acc.pop(s).items():
+                merged[phase] = merged.get(phase, 0.0) + seconds
+        return merged

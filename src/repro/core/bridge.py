@@ -43,6 +43,7 @@ class Bridge:
         memory: "MemoryTracker | None" = None,
         sanitize: bool = False,
         trace: "TraceRecorder | None" = None,
+        controller=None,
     ) -> None:
         self.comm = comm
         self.data_adaptor = data_adaptor
@@ -67,6 +68,12 @@ class Bridge:
             from repro.sanitize import GuardedDataAdaptor as _Guard
 
             self._guard = _Guard(data_adaptor)
+        # Optional online autotuning controller (repro.control): attached
+        # to the trace recorder's live span feed; its end_step() hook runs
+        # at every step boundary.  One `is not None` check when disabled.
+        self._controller = controller
+        if controller is not None and self.trace is not None:
+            controller.attach(self.trace)
         self._analyses: list[AnalysisAdaptor] = []
         self._initialized = False
         self._finalized = False
@@ -104,13 +111,18 @@ class Bridge:
             rec.set_step(step)
         self.data_adaptor.set_data_time(time, step)
         if self._guard is not None:
-            return self._execute_sanitized(time, step)
-        keep_going = True
-        with timed(self.timers, "sensei::execute"):
-            for a in self._analyses:
-                with timed(self.timers, f"sensei::execute::{a.name}"):
-                    keep_going = a.execute(self.data_adaptor) and keep_going
-        self.data_adaptor.release_data()
+            keep_going = self._execute_sanitized(time, step)
+        else:
+            keep_going = True
+            with timed(self.timers, "sensei::execute"):
+                for a in self._analyses:
+                    with timed(self.timers, f"sensei::execute::{a.name}"):
+                        keep_going = a.execute(self.data_adaptor) and keep_going
+            self.data_adaptor.release_data()
+        if self._controller is not None:
+            # Step boundary: the controller drains this step's spans and
+            # may reconfigure its actuators before the next step begins.
+            self._controller.end_step(step)
         return keep_going
 
     def _execute_sanitized(self, time: float, step: int) -> bool:

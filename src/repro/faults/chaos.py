@@ -62,6 +62,7 @@ def run_chaos(
     timeout: float = 60.0,
     plan: FaultPlan | None = None,
     backend: str | None = None,
+    controller: bool = False,
 ) -> dict[str, Any]:
     """Run the seeded chaos job; returns (and writes) the recovery report.
 
@@ -72,6 +73,14 @@ def run_chaos(
     recovery report and artifacts are byte-identical across backends for
     the same seed.  Raises :class:`ChaosError` if the job completes but a
     step goes unaccounted for.
+
+    With ``controller=True`` the circuit breaker's attempt/skip policy is
+    replaced by the online autotuning controller (:mod:`repro.control`) in
+    discrete-outcome mode: staging attempts are gated by its adopted
+    placement and seeded probes, the in-line fallback's PNG/framebuffer
+    knobs become its actuators, and every writer's decision journal --
+    which must be identical across the group -- is written to
+    ``decision_journal.json`` alongside the recovery report.
     """
     if ranks < 2:
         raise ValueError("chaos needs at least 2 ranks (1 writer + 1 endpoint)")
@@ -128,11 +137,25 @@ def run_chaos(
         }
 
     def resilience_factory(group):
+        fallback = _make_catalyst(out_dir, "inline", slice_index)
+        ctrl = None
+        if controller:
+            from repro.control import Controller
+
+            ctrl = Controller(seed=seed, group=group, mode="outcomes")
+            ctrl.register_actuator(
+                lambda old, new: fallback.reconfigure(
+                    png_workers=new.png_workers,
+                    png_codec=new.png_codec,
+                    framebuffer_depth=new.framebuffer_depth,
+                )
+            )
         return StagingResilience(
             group,
             ready_timeout=ready_timeout,
             breaker=CircuitBreaker(failure_threshold=2, probe_interval=4),
-            fallback=_make_catalyst(out_dir, "inline", slice_index),
+            fallback=fallback,
+            controller=ctrl,
         )
 
     job = run_flexpath_job(
@@ -174,7 +197,7 @@ def _build_report(seed, ranks, steps, injector, trace, job, out_dir):
         for name in rec.counter_names():
             if name.startswith(("fault::", "resilience::")):
                 counters[name] = counters.get(name, 0.0) + rec.total(name)
-    return {
+    report = {
         "seed": seed,
         "ranks": ranks,
         "steps": steps,
@@ -210,6 +233,23 @@ def _build_report(seed, ranks, steps, injector, trace, job, out_dir):
         "trace_counters": dict(sorted(counters.items())),
         "completed": True,
     }
+    ctrl = [f.get("controller") for f in flex]
+    if any(c is not None for c in ctrl):
+        texts = [
+            json.dumps(c["journal"], indent=2, sort_keys=True) for c in ctrl
+        ]
+        journal = ctrl[0]["journal"]
+        report["controller"] = {
+            "final_config": ctrl[0]["final_config"],
+            "decisions": len(journal["decisions"]),
+            "actions": [
+                [d["step"], d["action"]]
+                for d in journal["decisions"]
+                if d["action"] != "hold"
+            ],
+            "journals_identical": len(set(texts)) == 1,
+        }
+    return report
 
 
 def _check_accounting(report, steps, n_writers):
@@ -238,6 +278,12 @@ def _check_accounting(report, steps, n_writers):
             f"{acct['lost_in_flight']} staged rounds lost in flight; a "
             "single endpoint disconnect can strand at most one"
         )
+    ctrl = report.get("controller")
+    if ctrl is not None and not ctrl["journals_identical"]:
+        raise ChaosError(
+            "controller decision journals diverged across the writer "
+            "group -- lockstep consensus should make them byte-identical"
+        )
 
 
 def _write_artifacts(report, job, out_dir):
@@ -245,6 +291,16 @@ def _write_artifacts(report, job, out_dir):
         os.path.join(out_dir, "recovery_report.json"), "w", encoding="utf-8"
     ) as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
+    if report.get("controller") is not None:
+        writers = sorted(job.writer_results, key=lambda w: w["rank"])
+        journal = writers[0]["results"]["AdiosFlexPathWriter"]["controller"][
+            "journal"
+        ]
+        with open(
+            os.path.join(out_dir, "decision_journal.json"), "w", encoding="utf-8"
+        ) as fh:
+            json.dump(journal, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     # Rank 0's histogram history: the in-line analysis that must survive
     # every injected fault byte-for-byte.
     hist = job.writer_results and sorted(
@@ -289,4 +345,13 @@ def render_report(report: dict[str, Any]) -> str:
         f"(checkpoint restores {acct['checkpoint_restores']})",
         "  all steps accounted for: yes",
     ]
+    ctrl = report.get("controller")
+    if ctrl is not None:
+        acts = (
+            ", ".join(f"step {s}: {a}" for s, a in ctrl["actions"]) or "none"
+        )
+        lines.append(
+            f"  controller: {ctrl['decisions']} decisions ({acts}); "
+            f"final placement {ctrl['final_config']['placement']}"
+        )
     return "\n".join(lines)

@@ -84,8 +84,10 @@ class CircuitBreaker:
       consecutive failures trip the breaker open.
     - **open**: operations are refused (``allow()`` is False) for
       ``probe_interval`` refusals, avoiding a timeout penalty per step.
-    - **half-open**: one probe attempt is allowed; success closes the
-      breaker, failure re-opens it.
+    - **half-open**: exactly one probe attempt is admitted; success closes
+      the breaker, failure re-opens it.  Further ``allow()`` calls while
+      that probe is unresolved are refused, so peers polling at different
+      rates still admit the same single probe per episode.
 
     Transitions are a pure function of the ``allow``/``record_*`` call
     sequence, so peers fed the same consensus outcome stay in lockstep --
@@ -105,26 +107,35 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.times_opened = 0
         self._refusals = 0
+        #: True while a half-open probe has been admitted but not yet
+        #: resolved by a ``record_*`` call -- the single-probe latch.
+        self._probe_inflight = False
 
     def allow(self) -> bool:
         """Whether the next operation should be attempted."""
         if self.state == self.CLOSED:
             return True
         if self.state == self.HALF_OPEN:
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
             return True
         self._refusals += 1
         if self._refusals >= self.probe_interval:
             self.state = self.HALF_OPEN
             self._refusals = 0
+            self._probe_inflight = True
             return True
         return False
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
         self.state = self.CLOSED
+        self._probe_inflight = False
 
     def record_failure(self) -> None:
         self.consecutive_failures += 1
+        self._probe_inflight = False
         if self.state == self.HALF_OPEN or (
             self.consecutive_failures >= self.failure_threshold
         ):

@@ -124,6 +124,14 @@ class StagingResilience:
     in-transit path is degraded -- the paper's in-line Catalyst
     configuration standing in for the lost endpoint.  With no fallback,
     degraded steps are skipped but still accounted.
+
+    ``controller`` optionally replaces the circuit breaker as the
+    attempt/skip policy: an online autotuning
+    :class:`~repro.control.Controller` whose ``wants_in_transit()`` gates
+    each step's staging attempt (its seeded probes standing in for the
+    breaker's HALF_OPEN probes) and which observes every step's consensus
+    outcome.  Its decisions run their own writer-group consensus, so the
+    one-degrades-all invariant is preserved either way.
     """
 
     def __init__(
@@ -132,6 +140,7 @@ class StagingResilience:
         ready_timeout: float = 0.25,
         breaker: "CircuitBreaker | None" = None,
         fallback: AnalysisAdaptor | None = None,
+        controller=None,
     ) -> None:
         if ready_timeout <= 0:
             raise ValueError("ready_timeout must be positive")
@@ -143,6 +152,7 @@ class StagingResilience:
             breaker = _Breaker()
         self.breaker = breaker
         self.fallback = fallback
+        self.controller = controller
         self._fallback_ready = False
         self.staged_steps = 0
         self.degraded_steps = 0
@@ -241,10 +251,14 @@ class AdiosFlexPathWriter(AnalysisAdaptor):
     def _execute_resilient(self, data: DataAdaptor, mesh: ImageData) -> bool:
         res = self.resilience
         rec = self.timers.trace if self.timers is not None else None
-        # The breaker is consulted exactly once per step on every writer;
-        # its state is a pure function of the (uniform) consensus history,
-        # so allow() returns the same answer on every rank.
-        ok = 1 if res.breaker.allow() else 0
+        # The attempt gate is consulted exactly once per step on every
+        # writer; breaker state is a pure function of the (uniform)
+        # consensus history, and controller placement is adopted under
+        # group consensus, so the answer is identical on every rank.
+        if res.controller is not None:
+            ok = 1 if res.controller.wants_in_transit() else 0
+        else:
+            ok = 1 if res.breaker.allow() else 0
         inj = getattr(self.world, "fault_injector", None)
         if ok and inj is not None:
             # Writer-side bounded staging queue: an overflow refuses the
@@ -283,24 +297,31 @@ class AdiosFlexPathWriter(AnalysisAdaptor):
                 self._ship(data.get_array(Association.POINT, self.array), mesh)
             res.staged_steps += 1
             self.steps_sent += 1
-            return True
-        res.breaker.record_failure()
-        # Keep a still-live endpoint's round-robin receive loop in phase.
-        self.world.send(None, dest=self.endpoint_world_rank, tag=_TAG_SKIP)
-        if res.fallback is not None:
-            if not res._fallback_ready:
-                res.fallback.set_instrumentation(self.timers, self.memory)
-                res.fallback.initialize(res.group)
-                res._fallback_ready = True
-            with timed(self.timers, "adios::fallback_analysis"):
-                res.fallback.execute(data)
-            res.degraded_steps += 1
-            if rec is not None:
-                rec.count("resilience::degraded_steps", 1)
         else:
-            res.skipped_steps += 1
-            if rec is not None:
-                rec.count("resilience::skipped_steps", 1)
+            res.breaker.record_failure()
+            # Keep a still-live endpoint's receive loop in phase.
+            self.world.send(None, dest=self.endpoint_world_rank, tag=_TAG_SKIP)
+            if res.fallback is not None:
+                if not res._fallback_ready:
+                    res.fallback.set_instrumentation(self.timers, self.memory)
+                    res.fallback.initialize(res.group)
+                    res._fallback_ready = True
+                with timed(self.timers, "adios::fallback_analysis"):
+                    res.fallback.execute(data)
+                res.degraded_steps += 1
+                if rec is not None:
+                    rec.count("resilience::degraded_steps", 1)
+            else:
+                res.skipped_steps += 1
+                if rec is not None:
+                    rec.count("resilience::skipped_steps", 1)
+        if res.controller is not None:
+            # The verify/act leg: the controller sees the group's outcome
+            # (its own consensus keeps every writer's journal identical)
+            # and may re-plan the configuration for the next step.
+            res.controller.observe_outcome(
+                data.get_data_time_step(), staged=bool(consensus)
+            )
         return True
 
     def finalize(self):
@@ -320,6 +341,11 @@ class AdiosFlexPathWriter(AnalysisAdaptor):
                     "fallback_result": fallback_result,
                 }
             )
+            if res.controller is not None:
+                out["controller"] = {
+                    "final_config": res.controller.config.as_dict(),
+                    "journal": res.controller.journal.to_dict(),
+                }
         return out
 
 

@@ -140,12 +140,60 @@ class CatalystAdaptor(AnalysisAdaptor):
         if self.memory is not None:
             # The Edition's library footprint is a per-rank static cost.
             self.memory.add_static(self.edition.static_bytes, label="catalyst::edition")
-        if self._use_pool:
+        if self._use_pool and self._pool is None:
+            # A pool created earlier by reconfigure() keeps its tuned depth.
             self._pool = FramebufferPool(
                 memory=self.memory, label="catalyst::framebuffer_pool"
             )
         if self.output_dir and comm.rank == 0:
             os.makedirs(self.output_dir, exist_ok=True)
+
+    def reconfigure(
+        self,
+        png_workers: int | None = None,
+        png_codec: str | None = None,
+        framebuffer_depth: int | None = None,
+    ) -> dict:
+        """Apply autotuning knob changes between steps.
+
+        This is the actuator surface the online controller drives: PNG
+        worker count and codec take effect at the next encode;
+        ``framebuffer_depth`` retunes (or creates/drains) the framebuffer
+        pool's free-list depth.  Only safe between ``execute()`` calls --
+        the controller runs at step boundaries by construction.  Returns
+        the knobs actually applied.
+        """
+        applied: dict = {}
+        if png_workers is not None:
+            if png_workers < 0:
+                raise ValueError("png_workers must be non-negative")
+            self.png_workers = int(png_workers)
+            applied["png_workers"] = self.png_workers
+        if png_codec is not None:
+            if png_codec not in ("auto", "thread", "process", "serial"):
+                raise ValueError(f"unknown png_codec {png_codec!r}")
+            self.png_codec = png_codec
+            applied["png_codec"] = png_codec
+        if framebuffer_depth is not None:
+            depth = int(framebuffer_depth)
+            if depth < 0:
+                raise ValueError("framebuffer_depth must be non-negative")
+            if depth == 0:
+                if self._pool is not None:
+                    self._pool.drain()
+                    self._pool = None
+                self._use_pool = False
+            elif self._pool is None:
+                self._use_pool = True
+                self._pool = FramebufferPool(
+                    memory=self.memory,
+                    label="catalyst::framebuffer_pool",
+                    max_free=depth,
+                )
+            else:
+                self._pool.max_free = depth
+            applied["framebuffer_depth"] = depth
+        return applied
 
     # -- pipeline stages ---------------------------------------------------
     def _local_fragments(

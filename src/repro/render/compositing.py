@@ -118,9 +118,16 @@ class FramebufferPool:
         self,
         memory: MemoryTracker | None = None,
         label: str = "render::framebuffer_pool",
+        max_free: int | None = None,
     ) -> None:
         self.memory = memory
         self.label = label
+        #: Per-instance pool depth; defaults to the class-level
+        #: :data:`MAX_FREE_PER_KEY` and may be retuned between steps (the
+        #: autotuning controller's memory-for-time knob).
+        self.max_free = self.MAX_FREE_PER_KEY if max_free is None else int(max_free)
+        if self.max_free < 0:
+            raise ValueError("max_free must be non-negative")
         self._free: dict[tuple[int, int, bool], list[RenderedImage]] = {}
         self.hits = 0
         self.misses = 0
@@ -155,13 +162,13 @@ class FramebufferPool:
     def release(self, img: RenderedImage) -> None:
         """Return a framebuffer for reuse; the caller must drop its ref.
 
-        A release beyond :data:`MAX_FREE_PER_KEY` free buffers of that
-        shape is evicted instead -- dropped, with its bytes returned to
-        the memory tracker.
+        A release beyond ``max_free`` free buffers of that shape is
+        evicted instead -- dropped, with its bytes returned to the memory
+        tracker.
         """
         key = (img.shape[0], img.shape[1], img.depth is not None)
         stack = self._free.setdefault(key, [])
-        if len(stack) >= self.MAX_FREE_PER_KEY:
+        if len(stack) >= self.max_free:
             self.evictions += 1
             self.allocated_nbytes -= img.nbytes
             if self.memory is not None:

@@ -29,8 +29,11 @@ Two parallel codecs share that banding, selected by ``codec``:
   parent's pool), while the staging segment is created and unlinked per
   encode so nothing survives in ``/dev/shm``.
 - ``"auto"`` (default): ``"process"`` for raw buffers of at least
-  :data:`_PROCESS_MIN_BYTES`, ``"thread"`` below -- small images never
-  pay process-pool dispatch.
+  :data:`_PROCESS_MIN_BYTES` on hosts with at least
+  :data:`_PROCESS_MIN_CPUS` usable CPUs, ``"thread"`` otherwise -- small
+  images never pay process-pool dispatch, and core-starved hosts (where
+  the pool measured *slower* than serial) never fork a pool at all.  The
+  resolution rule is exposed as :func:`resolve_codec`.
 
 Band compression is deterministic, so both codecs produce *byte-identical*
 streams for the same (image, level, workers, chunk_rows); the serial
@@ -110,7 +113,40 @@ def _zlib_header(level: int) -> bytes:
 #: GIL contention it removes.
 _PROCESS_MIN_BYTES = 1 << 20
 
+#: ``codec="auto"`` also requires at least this many usable CPUs before
+#: choosing the process pool: with a single core there is no parallelism to
+#: buy, only fork/dispatch/shm overhead (the ``codec_pool`` benchmark
+#: measured 0.90x vs serial on a 1-CPU host).
+_PROCESS_MIN_CPUS = 2
+
 _CODECS = ("auto", "thread", "process", "serial")
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_codec(
+    codec: str, workers: int | None, raw_bytes: int, cpus: int | None = None
+) -> str:
+    """Resolve ``codec="auto"`` to the executor ``encode_png`` will use.
+
+    The process pool is chosen only when all of: ``workers > 1``, the raw
+    scanline buffer is at least :data:`_PROCESS_MIN_BYTES`, and the host has
+    at least :data:`_PROCESS_MIN_CPUS` usable CPUs (``cpus`` overrides the
+    detected count, for tests and planners).  Everything else resolves to
+    the thread codec; non-"auto" codecs pass through unchanged.
+    """
+    if codec != "auto":
+        return codec
+    if workers and workers > 1 and raw_bytes >= _PROCESS_MIN_BYTES:
+        if (cpus if cpus is not None else _usable_cpus()) >= _PROCESS_MIN_CPUS:
+            return "process"
+    return "thread"
 
 #: The persistent codec pool (created on first process-codec encode).  A
 #: forked child inherits the parent's pool object but not its workers'
@@ -279,8 +315,10 @@ def encode_png(
     deflate (``chunk_rows`` rows per band, default ~4 bands per worker),
     with ``codec`` selecting the executor: ``"thread"``, ``"process"``
     (persistent codec pool, bands via shared memory), ``"serial"`` (ignore
-    ``workers``), or ``"auto"`` -- the process pool for raw buffers of at
-    least :data:`_PROCESS_MIN_BYTES` when ``workers > 1``, threads below.
+    ``workers``), or ``"auto"`` -- resolved by :func:`resolve_codec`: the
+    process pool for raw buffers of at least :data:`_PROCESS_MIN_BYTES`
+    when ``workers > 1`` and the host has enough usable CPUs, threads
+    otherwise.
     All paths decode to identical pixels; the two parallel codecs produce
     byte-identical files.
     """
@@ -308,12 +346,7 @@ def encode_png(
     # Raw scanlines, each prefixed with filter type 0 (None).
     raw = _raw_scanlines(a, h, w * channels).tobytes()
     if workers and codec != "serial":
-        if codec == "auto":
-            codec = (
-                "process"
-                if workers > 1 and len(raw) >= _PROCESS_MIN_BYTES
-                else "thread"
-            )
+        codec = resolve_codec(codec, workers, len(raw))
         idat = _deflate_parallel(
             raw, w * channels + 1, compression_level, workers, chunk_rows, codec
         )

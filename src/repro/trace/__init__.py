@@ -29,7 +29,9 @@ from repro.trace.report import (
     PhaseReport,
     PhaseStats,
     classify_span,
+    diff_ratios,
     diff_reports,
+    phase_ratio,
     render_report,
     report_from_chrome,
     report_from_events,
@@ -49,7 +51,9 @@ __all__ = [
     "PhaseReport",
     "PhaseStats",
     "classify_span",
+    "diff_ratios",
     "diff_reports",
+    "phase_ratio",
     "render_report",
     "report_from_chrome",
     "report_from_events",

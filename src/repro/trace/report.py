@@ -31,6 +31,7 @@ counted; nested spans remain in the trace for drill-down in Perfetto.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.trace.recorder import TraceSession
@@ -212,12 +213,46 @@ def render_report(report: PhaseReport) -> str:
     return "\n".join(lines)
 
 
+def phase_ratio(measured: float, modeled: float) -> float | None:
+    """measured/modeled for one phase: ``math.inf`` when measured > 0 but
+    the model predicts exactly zero (an unbounded calibration error the
+    autotuning controller must treat as "prediction wrong", not "phase
+    absent"), ``None`` only for 0/0 -- the phase genuinely costs nothing in
+    both timelines."""
+    if modeled > 0.0:
+        return measured / modeled
+    if measured > 0.0:
+        return math.inf
+    return None
+
+
+def diff_ratios(measured: PhaseReport, modeled: PhaseReport) -> dict[str, float]:
+    """Per-phase measured/modeled ratios as numbers (``math.inf`` allowed).
+
+    The programmatic face of :func:`diff_reports`: per-step phases compare
+    per-step means, one-time phases totals; 0/0 phases are omitted.
+    """
+    out: dict[str, float] = {}
+    for phase, kind in PHASE_ORDER:
+        if kind == PER_STEP:
+            a, b = measured.per_step_mean(phase), modeled.per_step_mean(phase)
+        else:
+            a, b = measured.mean(phase), modeled.mean(phase)
+        r = phase_ratio(a, b)
+        if r is not None:
+            out[phase] = r
+    return out
+
+
 def diff_reports(measured: PhaseReport, modeled: PhaseReport) -> str:
     """Side-by-side phase comparison (the measured-vs-modeled overlay).
 
     Per-step phases compare per-step means (scale-free across different
     step counts); one-time phases compare totals.  The ratio column is
-    measured/modeled -- the model calibration error per phase.
+    measured/modeled -- the model calibration error per phase.  A measured
+    cost the model prices at zero renders as a flagged ``inf`` (unbounded
+    error); ``--`` appears only for 0/0, a phase with recorded calls but
+    no time in either report.
     """
     header = (
         f"{'phase':<22}{'kind':<10}{measured.name[:13]:>14}{modeled.name[:13]:>14}"
@@ -233,8 +268,19 @@ def diff_reports(measured: PhaseReport, modeled: PhaseReport) -> str:
             a, b = measured.per_step_mean(phase), modeled.per_step_mean(phase)
         else:
             a, b = measured.mean(phase), modeled.mean(phase)
-        if a == 0.0 and b == 0.0:
-            continue
-        ratio = f"{a / b:8.2f}x" if b else "      --"
+        r = phase_ratio(a, b)
+        if r is None:
+            calls_a = measured.phases.get(phase)
+            calls_b = modeled.phases.get(phase)
+            if not (
+                (calls_a is not None and calls_a.calls)
+                or (calls_b is not None and calls_b.calls)
+            ):
+                continue  # absent from both timelines entirely
+            ratio = "      --"
+        elif math.isinf(r):
+            ratio = "    inf !"
+        else:
+            ratio = f"{r:8.2f}x"
         lines.append(f"{phase:<22}{kind:<10}{a:14.6f}{b:14.6f}{ratio}")
     return "\n".join(lines)

@@ -119,3 +119,39 @@ class TestCircuitBreaker:
             else:
                 a.record_failure(), b.record_failure()
         assert a.snapshot() == b.snapshot()
+
+
+class TestHalfOpenProbeLatch:
+    """Regression: HALF_OPEN must admit exactly one probe at a time.
+
+    Before the latch, every allow() while HALF_OPEN returned True, so
+    concurrent callers could all pile onto a presumed-dead endpoint during
+    a single unresolved probe window.
+    """
+
+    def test_second_allow_refused_while_probe_unresolved(self):
+        b = CircuitBreaker(failure_threshold=1, probe_interval=1)
+        b.record_failure()
+        assert b.allow()  # the single admitted probe
+        assert b.state == b.HALF_OPEN
+        assert not b.allow()
+        assert not b.allow()
+
+    def test_probe_success_releases_latch(self):
+        b = CircuitBreaker(failure_threshold=1, probe_interval=1)
+        b.record_failure()
+        assert b.allow()
+        b.record_success()
+        assert b.state == b.CLOSED
+        assert b.allow()  # CLOSED admits freely again
+
+    def test_probe_failure_reopens_and_rearms(self):
+        b = CircuitBreaker(failure_threshold=1, probe_interval=2)
+        b.record_failure()
+        assert not b.allow()
+        assert b.allow()  # probe admitted
+        assert not b.allow()  # latched
+        b.record_failure()  # probe failed -> OPEN again
+        assert b.state == b.OPEN
+        # Interval restarts, then exactly one new probe is admitted.
+        assert [b.allow() for _ in range(3)] == [False, True, False]

@@ -317,3 +317,52 @@ class TestCodecSelection:
         img = self._structured(128, 64)
         encode_png(img, 6, workers=2, codec="process")
         assert shm_mod.list_segments() == []
+
+
+class TestResolveCodec:
+    """codec="auto" must consult the usable CPU count: on a core-starved
+    box the process pool is pure dispatch overhead (the 0.90x regression
+    the codec_pool benchmark measured on 1 CPU), so auto resolves to the
+    in-process threaded deflate there."""
+
+    def _structured(self, h, w):
+        y, x = np.mgrid[0:h, 0:w]
+        v = ((np.sin(x / 9.0) + np.cos(y / 7.0) + 2) * 60).astype(np.uint8)
+        return np.stack([v, 255 - v, v // 2], axis=-1)
+
+    def test_cpu_gate(self):
+        from repro.render import resolve_codec
+        from repro.render.png import _PROCESS_MIN_BYTES
+
+        big = _PROCESS_MIN_BYTES
+        assert resolve_codec("auto", 4, big, cpus=1) == "thread"
+        assert resolve_codec("auto", 4, big, cpus=2) == "process"
+        assert resolve_codec("auto", 4, big - 1, cpus=8) == "thread"
+        assert resolve_codec("auto", 0, big, cpus=8) == "thread"
+        assert resolve_codec("auto", 1, big, cpus=8) == "thread"
+
+    def test_explicit_codec_bypasses_gate(self):
+        from repro.render import resolve_codec
+
+        assert resolve_codec("process", 4, 1, cpus=1) == "process"
+        assert resolve_codec("serial", 4, 1 << 30, cpus=64) == "serial"
+
+    def test_auto_stays_in_process_when_cores_scarce(self, monkeypatch):
+        from repro.render import png as png_mod
+
+        monkeypatch.setattr(png_mod, "_usable_cpus", lambda: 1)
+        img = self._structured(640, 560)  # > _PROCESS_MIN_BYTES raw
+        assert img.nbytes >= png_mod._PROCESS_MIN_BYTES
+        pool_before = png_mod._POOL
+        blob = encode_png(img, 1, workers=2, codec="auto")
+        # Same bytes as the threaded codec, and no process pool spun up.
+        assert blob == encode_png(img, 1, workers=2, codec="thread")
+        assert png_mod._POOL is pool_before
+
+    def test_auto_uses_process_pool_when_cores_allow(self, monkeypatch):
+        from repro.render import png as png_mod
+
+        monkeypatch.setattr(png_mod, "_usable_cpus", lambda: 8)
+        img = self._structured(640, 560)
+        blob = encode_png(img, 1, workers=2, codec="auto")
+        assert blob == encode_png(img, 1, workers=2, codec="process")

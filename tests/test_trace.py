@@ -435,3 +435,101 @@ class TestReportCLI:
 
         assert main(["report", str(tmp_path / "nope.json")]) == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+
+# -- diff ratios: inf vs -- semantics ----------------------------------------
+
+
+class TestDiffRatios:
+    """A measured cost the model prices at zero is an *unbounded* error
+    (rendered ``inf !``), not an absent phase; ``--`` is reserved for 0/0
+    on a phase at least one report recorded calls for."""
+
+    def _report(self, name, **phase_seconds):
+        from repro.trace.report import PHASE_ORDER, PhaseReport, PhaseStats
+
+        phases = {p: PhaseStats(p, kind) for p, kind in PHASE_ORDER}
+        for phase, seconds in phase_seconds.items():
+            key = phase.replace("_", " ")
+            phases[key].per_rank[0] = seconds
+            phases[key].calls = 1
+        return PhaseReport(
+            name=name, n_ranks=1, n_steps=1, phases=phases, counters={}
+        )
+
+    def test_phase_ratio_cases(self):
+        import math
+
+        from repro.trace import phase_ratio
+
+        assert phase_ratio(1.0, 2.0) == 0.5
+        assert phase_ratio(0.5, 0.0) == math.inf
+        assert phase_ratio(0.0, 0.5) == 0.0
+        assert phase_ratio(0.0, 0.0) is None
+
+    def test_measured_over_zero_model_is_inf(self):
+        import math
+
+        from repro.trace import diff_ratios
+
+        measured = self._report("m", simulation=1.0, analysis=0.5)
+        modeled = self._report("p", simulation=1.0)
+        ratios = diff_ratios(measured, modeled)
+        assert ratios["simulation"] == 1.0
+        assert ratios["analysis"] == math.inf
+        text = diff_reports(measured, modeled)
+        [line] = [
+            ln
+            for ln in text.splitlines()
+            if ln.startswith("analysis") and "initialize" not in ln
+        ]
+        assert "inf !" in line
+        assert "--" not in line
+
+    def test_zero_zero_with_calls_renders_dashes(self):
+        from repro.trace import diff_ratios
+
+        measured = self._report("m", simulation=1.0, write=0.0)
+        modeled = self._report("p", simulation=1.0, write=0.0)
+        assert "write" not in diff_ratios(measured, modeled)
+        text = diff_reports(measured, modeled)
+        [line] = [ln for ln in text.splitlines() if ln.startswith("write")]
+        assert "--" in line
+        assert "inf" not in line
+
+    def test_phase_absent_from_both_reports_is_omitted(self):
+        measured = self._report("m", simulation=1.0)
+        modeled = self._report("p", simulation=1.0)
+        text = diff_reports(measured, modeled)
+        assert not any(ln.startswith("write") for ln in text.splitlines())
+
+
+class TestSpanSubscription:
+    def test_subscribers_see_spans_from_end_and_complete(self):
+        rec = TraceRecorder(rank=0, epoch=0.0)
+        seen = []
+        rec.subscribe(seen.append)
+        with rec.span("sensei::execute"):
+            pass
+        rec.complete("io::write", 0.0, 0.25, step=3)
+        assert [s.name for s in seen] == ["sensei::execute", "io::write"]
+        rec.unsubscribe(seen.append)
+        rec.complete("io::write", 0.3, 0.4, step=4)
+        assert len(seen) == 2
+
+    def test_unsubscribe_is_idempotent(self):
+        rec = TraceRecorder(rank=0)
+        cb = lambda s: None  # noqa: E731
+        rec.unsubscribe(cb)  # never subscribed: no error
+        rec.subscribe(cb)
+        rec.unsubscribe(cb)
+        rec.unsubscribe(cb)
+
+    def test_pickling_drops_subscribers(self):
+        import pickle
+
+        rec = TraceRecorder(rank=1)
+        rec.subscribe(lambda s: None)
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone._subscribers == []
+        clone.complete("sensei::execute", 0.0, 0.1, step=0)  # must not call
