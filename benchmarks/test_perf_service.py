@@ -1,0 +1,178 @@
+"""Service-layer throughput benchmark: N tenants sharing one server.
+
+The paper's central cost question for a shared in situ service is whether
+tenancy overhead (framing, auth, admission, per-tenant accounting) leaves
+enough headroom that concurrent simulations still make progress at a fair
+rate.  This benchmark stands up one real :class:`ServiceServer` on a Unix
+socket and drives ``TENANTS`` concurrent client workloads against it --
+the same client/server/wire path the CLI uses -- then records aggregate
+steps/sec and a per-tenant fairness ratio to ``BENCH_hotpaths.json``::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_service.py -s
+
+Fairness = (slowest tenant's steps/s) / (fastest tenant's steps/s); 1.0
+is perfectly fair.  The hard gates are calibrated like the other hot-path
+benchmarks: throughput floors only apply with >= 4 real CPUs (the staged
+endpoint workers need cores to overlap), while completeness and a lenient
+fairness floor are asserted everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+
+import numpy as np
+
+from repro.service import (
+    QuotaSpec,
+    ServiceServer,
+    TenantRegistry,
+    TenantSpec,
+    issue_token,
+    run_client_workload,
+)
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_hotpaths.json")
+
+SECRET = "bench-secret"
+TENANTS = ("alpha", "beta", "gamma", "delta")
+STEPS = 16
+SHAPE = (32, 32)
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one benchmark's results into BENCH_hotpaths.json."""
+    doc: dict = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    doc["meta"] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": _cpus(),
+    }
+    doc[section] = payload
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def test_service_throughput_concurrent_tenants(tmp_path, report):
+    """>= 4 tenants streaming concurrently through one service instance.
+
+    Acceptance: every tenant's every step is ACKed ``admit``, aggregate
+    throughput is recorded, and no tenant is starved (fairness floor).
+    """
+    registry = TenantRegistry(
+        [
+            TenantSpec(name, quota=QuotaSpec(credits=4), placement="staged")
+            for name in TENANTS
+        ]
+    )
+    server = ServiceServer(
+        str(tmp_path / "svc.sock"),
+        registry,
+        SECRET,
+        str(tmp_path / "out"),
+        seed=0,
+        render=False,
+        expect=len(TENANTS),
+    )
+    server.start()
+
+    summaries: dict[str, dict] = {}
+    errors: list[BaseException] = []
+
+    def _drive(tenant: str) -> None:
+        try:
+            summaries[tenant] = run_client_workload(
+                server.socket_path,
+                tenant,
+                issue_token(SECRET, tenant),
+                STEPS,
+                shape=SHAPE,
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    try:
+        threads = [
+            threading.Thread(target=_drive, args=(name,), name=f"bench-{name}")
+            for name in TENANTS
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        wall = time.perf_counter() - t0
+        assert server.wait(10.0), "server did not drain all tenants"
+    finally:
+        server.stop()
+
+    assert not errors, f"tenant workload failed: {errors[0]!r}"
+    assert sorted(summaries) == sorted(TENANTS)
+
+    per_tenant = {}
+    for name, summary in summaries.items():
+        verdicts = [v for _, v in summary["verdicts"]]
+        assert len(verdicts) == STEPS, f"{name}: {len(verdicts)} acks"
+        assert all(v == "admit" for v in verdicts), f"{name}: {verdicts}"
+        per_tenant[name] = STEPS / summary["wall_seconds"]
+
+    aggregate = len(TENANTS) * STEPS / wall
+    fastest = max(per_tenant.values())
+    slowest = min(per_tenant.values())
+    fairness = slowest / fastest
+
+    cpus = _cpus()
+    _record(
+        "service_throughput",
+        {
+            "tenants": len(TENANTS),
+            "steps_per_tenant": STEPS,
+            "payload_shape": list(SHAPE),
+            "wall_seconds": round(wall, 4),
+            "aggregate_steps_per_s": round(aggregate, 2),
+            "per_tenant_steps_per_s": {
+                k: round(v, 2) for k, v in sorted(per_tenant.items())
+            },
+            "fairness_ratio": round(fairness, 3),
+            "target_aggregate_steps_per_s": 50.0,
+            "target_fairness_ratio": 0.5,
+            "target_gated_on_cpus": 4,
+        },
+    )
+    report(
+        "service_throughput",
+        f"service throughput: {len(TENANTS)} tenants x {STEPS} steps "
+        f"({cpus} CPUs)",
+        [
+            f"aggregate      {aggregate:8.1f} steps/s",
+            *(
+                f"{name:<14} {rate:8.1f} steps/s"
+                for name, rate in sorted(per_tenant.items())
+            ),
+            f"fairness       {fairness:8.3f} (slowest/fastest)",
+        ],
+    )
+
+    # Everyone made progress: even on a starved runner no tenant should be
+    # an order of magnitude behind its peers over a whole run.
+    assert fairness >= 0.1
+    if cpus >= 4:
+        assert aggregate >= 50.0, f"aggregate {aggregate:.1f} steps/s"
+        assert fairness >= 0.5, f"fairness {fairness:.3f}"
+    else:
+        assert aggregate > 0.0

@@ -10,6 +10,8 @@
     python -m repro analyze src/      # full CFG/dataflow static analyzer
     python -m repro chaos --seed 42   # seeded fault-injection harness
     python -m repro control --seed 7  # online-autotuning closed-loop demo
+    python -m repro serve --socket /tmp/repro.sock --tenants a,b --secret s
+    python -m repro submit --socket /tmp/repro.sock --tenant a --secret s
     python -m repro report trace.json # Sec. 4.1.1 phase breakdown of a trace
     python -m repro report measured.json --against modeled.json   # model diff
 """
@@ -135,6 +137,115 @@ def _build_parser() -> argparse.ArgumentParser:
             "decision journal alongside the recovery report"
         ),
     )
+    chaos.add_argument(
+        "--sense",
+        choices=("outcomes", "spans"),
+        default="outcomes",
+        help=(
+            "controller verify feed: discrete staging outcomes (seed-"
+            "deterministic journal) or measured per-phase spans via the "
+            "live trace sensor (group-reduced; wall-clock-dependent)"
+        ),
+    )
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the long-running multi-tenant in situ service: clients "
+            "stream simulation steps over a local socket into per-tenant "
+            "analysis endpoints (histogram + Catalyst slice), under "
+            "admission control, quotas, and journaled backpressure"
+        ),
+    )
+    serve.add_argument("--socket", required=True, help="unix socket path")
+    serve.add_argument(
+        "--out", default="service_artifacts", help="artifact directory"
+    )
+    serve.add_argument(
+        "--tenants",
+        required=True,
+        help=(
+            "comma-separated tenant list, each NAME or NAME:PLACEMENT "
+            "with placement in-line|staged (default staged)"
+        ),
+    )
+    serve.add_argument(
+        "--secret", required=True, help="token-signing secret"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="decision seed")
+    serve.add_argument(
+        "--max-clients", type=int, default=16, help="admission ceiling"
+    )
+    serve.add_argument(
+        "--credits", type=int, default=2, help="per-tenant flow-control window"
+    )
+    serve.add_argument(
+        "--max-steps", type=int, default=None, help="per-tenant step quota"
+    )
+    serve.add_argument(
+        "--byte-budget",
+        type=int,
+        default=None,
+        help="per-tenant cumulative payload byte budget",
+    )
+    serve.add_argument(
+        "--max-step-bytes",
+        type=int,
+        default=None,
+        help="per-step payload ceiling",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, help="per-tenant steps/sec ceiling"
+    )
+    serve.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        help="server-wide bytes-in-flight budget (backpressure)",
+    )
+    serve.add_argument(
+        "--expect",
+        type=int,
+        default=None,
+        help="exit cleanly after this many tenants complete (EOS)",
+    )
+    serve.add_argument(
+        "--bins", type=int, default=32, help="histogram bins per tenant"
+    )
+    serve.add_argument(
+        "--resolution",
+        default="160x90",
+        help="Catalyst render resolution WxH",
+    )
+    serve.add_argument(
+        "--no-render",
+        action="store_true",
+        help="disable the Catalyst slice pipeline (histogram only)",
+    )
+    submit = sub.add_parser(
+        "submit",
+        help=(
+            "stream one tenant's deterministic synthetic workload into a "
+            "running 'repro serve' instance"
+        ),
+    )
+    submit.add_argument("--socket", required=True, help="unix socket path")
+    submit.add_argument("--tenant", required=True, help="tenant name")
+    submit.add_argument(
+        "--secret",
+        default=None,
+        help="token-signing secret (mints a fresh token)",
+    )
+    submit.add_argument(
+        "--token", default=None, help="explicit pre-minted token"
+    )
+    submit.add_argument("--steps", type=int, default=8, help="steps to stream")
+    submit.add_argument(
+        "--grid", default="64x64", help="per-step field shape WxH"
+    )
+    submit.add_argument("--seed", type=int, default=0, help="workload seed")
+    submit.add_argument(
+        "--timeout", type=float, default=60.0, help="socket timeout seconds"
+    )
     control = sub.add_parser(
         "control",
         help=(
@@ -199,6 +310,7 @@ def _chaos_main(args) -> int:
             checkpoint_interval=args.checkpoint_interval,
             backend=args.backend,
             controller=args.controller,
+            sense=args.sense,
         )
     except ChaosError as exc:
         print(f"chaos run failed accounting checks: {exc}", file=sys.stderr)
@@ -233,6 +345,119 @@ def _control_main(args) -> int:
     )
     if args.out:
         print(f"decision journal: {args.out}/decision_journal.json")
+    return 0
+
+
+def _parse_resolution(text: str) -> tuple[int, int]:
+    w, _, h = text.partition("x")
+    return int(w), int(h)
+
+
+def _serve_main(args) -> int:
+    import signal
+
+    from repro.service import (
+        QuotaSpec,
+        ServiceServer,
+        TenantRegistry,
+        TenantSpec,
+    )
+
+    quota = QuotaSpec(
+        max_steps=args.max_steps,
+        byte_budget=args.byte_budget,
+        max_step_bytes=args.max_step_bytes,
+        rate_steps_per_s=args.rate,
+        credits=args.credits,
+    )
+    registry = TenantRegistry()
+    for item in args.tenants.split(","):
+        name, _, placement = item.strip().partition(":")
+        registry.register(
+            TenantSpec(name, quota, placement=placement or "staged")
+        )
+    server = ServiceServer(
+        args.socket,
+        registry,
+        args.secret,
+        args.out,
+        seed=args.seed,
+        max_clients=args.max_clients,
+        memory_budget=args.memory_budget,
+        expect=args.expect,
+        bins=args.bins,
+        resolution=_parse_resolution(args.resolution),
+        render=not args.no_render,
+    )
+    stop_requested = []
+    signal.signal(signal.SIGTERM, lambda *_: stop_requested.append(True))
+    server.start()
+    print(
+        f"serving {len(registry)} tenant(s) on {args.socket} "
+        f"(seed {args.seed}); artifacts -> {args.out}",
+        flush=True,
+    )
+    try:
+        if args.expect is not None:
+            while not server.wait(timeout=0.5):
+                if stop_requested:
+                    break
+        else:
+            import time as _time
+
+            while not stop_requested:
+                _time.sleep(0.25)
+    except KeyboardInterrupt:
+        pass
+    server.stop()
+    completed = sorted(server._completed)
+    print(
+        f"shutdown: {len(completed)} tenant(s) completed "
+        f"({', '.join(completed) or 'none'}); journal + cost report in "
+        f"{args.out}"
+    )
+    return 0
+
+
+def _submit_main(args) -> int:
+    from repro.service import (
+        ServiceError,
+        issue_token,
+        run_client_workload,
+    )
+
+    if args.token is None and args.secret is None:
+        print("submit needs --token or --secret", file=sys.stderr)
+        return 2
+    token = (
+        args.token
+        if args.token is not None
+        else issue_token(args.secret, args.tenant)
+    )
+    try:
+        summary = run_client_workload(
+            args.socket,
+            args.tenant,
+            token,
+            steps=args.steps,
+            shape=_parse_resolution(args.grid),
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    except ServiceError as exc:
+        print(f"submit failed for {args.tenant!r}: {exc}", file=sys.stderr)
+        return 1
+    rate = (
+        summary["steps_admitted"] / summary["wall_seconds"]
+        if summary["wall_seconds"] > 0
+        else 0.0
+    )
+    print(
+        f"{args.tenant}: {summary['steps_admitted']} admitted, "
+        f"{summary['steps_shed']} shed, {summary['bytes_admitted']} bytes "
+        f"in {summary['wall_seconds']:.3f}s ({rate:.1f} steps/s); "
+        f"artifacts: {summary['artifacts']}"
+    )
     return 0
 
 
@@ -298,6 +523,10 @@ def main(argv: list[str] | None = None) -> int:
         return _chaos_main(args)
     if args.command == "control":
         return _control_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
+    if args.command == "submit":
+        return _submit_main(args)
     catalog = available_experiments()
     if args.command == "list":
         width = max(len(n) for n in catalog)

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from repro.control.journal import Decision, DecisionJournal, _jsonable
 from repro.control.sensor import SpanSensor
 from repro.faults.plan import unit_draw
-from repro.mpi.ops import MIN
+from repro.mpi.ops import MAX, MIN
 from repro.perf.control_model import ControlConfig, ControlModel
 
 #: Imputed staging derate when an attempted staging step fails outright
@@ -216,25 +216,82 @@ class Controller:
             violated = self.slo.violated_by(total, sim)
         return self._decide(step, observed, probe, d_sample, violated)
 
+    #: Canonical phase ordering for the group span reduction; any other
+    #: classified phase folds into the trailing ``other`` bucket.
+    _SENSE_PHASES = ("simulation", "analysis", "write")
+
+    def _reduce_spans(self, spans: dict[str, float]) -> dict[str, float]:
+        """Group-reduce per-rank phase seconds to one shared observation.
+
+        Each writer drains its *own* recorder, but journals must stay
+        byte-identical across the group, so the per-phase seconds are
+        ``allreduce(MAX)``-ed over a fixed phase ordering -- the group's
+        critical-path view, and (unlike a SUM) exact under floating point
+        regardless of rank count.  Zero phases are dropped after the
+        reduction, so every rank keeps the same key set.
+        """
+        vec = [spans.get(p, 0.0) for p in self._SENSE_PHASES]
+        vec.append(
+            sum(v for p, v in spans.items() if p not in self._SENSE_PHASES)
+        )
+        if self.group is not None:
+            import numpy as np
+
+            reduced = self.group.allreduce(
+                np.asarray(vec, dtype=np.float64), MAX
+            )
+            vec = [float(x) for x in reduced]
+        out = {
+            p: v for p, v in zip(self._SENSE_PHASES, vec) if v > 0.0
+        }
+        if vec[-1] > 0.0:
+            out["other"] = vec[-1]
+        return out
+
     def observe_outcome(self, step: int, staged: bool) -> Decision:
-        """Decide from a discrete staging outcome (outcomes mode).
+        """Decide from a staging outcome, plus measured spans when sensed.
 
         The resilient transport reports only whether the group's staged
         step landed; a failed attempt imputes :data:`OUTCOME_DERATE`, a
         successful one samples a healthy fabric.  A step that never
         attempted staging (in-line, no probe) carries no signal.
+
+        When a :class:`~repro.control.sensor.SpanSensor` is attached (see
+        :meth:`attach`), the discrete outcome is enriched with the sensed
+        per-phase seconds: they are group-reduced so every writer observes
+        the same values, a *successful* staged step inverts the measured
+        analysis seconds through the model for a continuous derate sample
+        (instead of the flat healthy 0.0), and the SLO is checked against
+        the measured totals -- the same verify leg ``observe_step`` runs,
+        grafted onto the chaos transport's outcome feed.
         """
         attempted = self.config.placement == "in-transit" or self._probe_next
+        effective = self.plant_config()
         probe = self._probe_next
         self._probe_next = False
+        spans: dict[str, float] = {}
+        if self._sensor is not None:
+            spans = self._reduce_spans(self._sensor.drain(step))
         d_sample = None
         if attempted:
-            d_sample = 0.0 if staged else OUTCOME_DERATE
+            if staged and spans.get("analysis", 0.0) > 0.0:
+                d_sample = self.model.estimate_staging_derate(
+                    effective, spans["analysis"]
+                )
+            else:
+                d_sample = 0.0 if staged else OUTCOME_DERATE
         observed = {
             "attempted": 1.0 if attempted else 0.0,
             "staged": 1.0 if staged else 0.0,
         }
-        return self._decide(step, observed, probe, d_sample, violated=False)
+        violated = False
+        if spans:
+            observed.update(spans)
+            total = sum(spans.values())
+            violated = self.slo.violated_by(
+                total, spans.get("simulation", 0.0)
+            )
+        return self._decide(step, observed, probe, d_sample, violated)
 
     # -- the decision core ----------------------------------------------------
     def _update_belief(self, d_sample: float | None) -> None:

@@ -31,6 +31,9 @@ from repro.faults.plan import (
     KNOWN_SITES,
     SITE_MPI_COLLECTIVE,
     SITE_MPI_SEND,
+    SITE_SERVICE_CLIENT,
+    SITE_SERVICE_FRAME,
+    SITE_SERVICE_STEP,
     SITE_SIM_STEP,
     SITE_STAGING_ENDPOINT,
     SITE_STAGING_QUEUE,
@@ -60,6 +63,9 @@ __all__ = [
     "RetryPolicy",
     "SITE_MPI_COLLECTIVE",
     "SITE_MPI_SEND",
+    "SITE_SERVICE_CLIENT",
+    "SITE_SERVICE_FRAME",
+    "SITE_SERVICE_STEP",
     "SITE_SIM_STEP",
     "SITE_STAGING_ENDPOINT",
     "SITE_STAGING_QUEUE",

@@ -63,6 +63,7 @@ def run_chaos(
     plan: FaultPlan | None = None,
     backend: str | None = None,
     controller: bool = False,
+    sense: str = "outcomes",
 ) -> dict[str, Any]:
     """Run the seeded chaos job; returns (and writes) the recovery report.
 
@@ -81,7 +82,18 @@ def run_chaos(
     knobs become its actuators, and every writer's decision journal --
     which must be identical across the group -- is written to
     ``decision_journal.json`` alongside the recovery report.
+
+    ``sense`` picks the controller's verify feed: ``"outcomes"`` (default)
+    observes only the discrete staged/degraded consensus, which keeps the
+    journal a pure function of the seed (byte-identical across repeat
+    runs -- what CI's chaos-smoke diffs); ``"spans"`` additionally attaches
+    a :class:`~repro.control.sensor.SpanSensor` to each writer's trace
+    recorder, so decisions also see measured per-phase seconds
+    (group-reduced, hence still identical across the writer group within
+    one run, but wall-clock-dependent across runs).
     """
+    if sense not in ("outcomes", "spans"):
+        raise ValueError(f"sense must be 'outcomes' or 'spans', got {sense!r}")
     if ranks < 2:
         raise ValueError("chaos needs at least 2 ranks (1 writer + 1 endpoint)")
     if steps < 3:
@@ -142,7 +154,11 @@ def run_chaos(
         if controller:
             from repro.control import Controller
 
-            ctrl = Controller(seed=seed, group=group, mode="outcomes")
+            ctrl = Controller(seed=seed, group=group, mode=sense)
+            if sense == "spans":
+                rec = getattr(group, "trace_recorder", None)
+                if rec is not None:
+                    ctrl.attach(rec)
             ctrl.register_actuator(
                 lambda old, new: fallback.reconfigure(
                     png_workers=new.png_workers,

@@ -36,6 +36,11 @@ site                      faults injected there
 ``storage.write``         ``write_fail`` / ``write_partial`` / ``write_slow``
 ``staging.endpoint``      ``disconnect`` / ``stale_step`` (reader side)
 ``staging.queue``         ``queue_full`` (bounded staging queue, writer side)
+``service.frame``         ``corrupt`` / ``duplicate`` / ``drop`` / ``delay``
+                          (socket-transport wire faults, per tenant channel)
+``service.client``        ``disconnect`` (client hangs up mid-step)
+``service.step``          ``analysis_fail`` / ``stall`` (tenant endpoint
+                          analysis failures behind the service bridge)
 ========================  =====================================================
 """
 
@@ -57,6 +62,12 @@ SITE_STORAGE_WRITE = "storage.write"
 SITE_STAGING_ENDPOINT = "staging.endpoint"
 #: Writer-side bounded-queue faults on the staging transport.
 SITE_STAGING_QUEUE = "staging.queue"
+#: Wire-level faults on the service socket transport (per tenant channel).
+SITE_SERVICE_FRAME = "service.frame"
+#: Client-side faults on the service transport (disconnect mid-step).
+SITE_SERVICE_CLIENT = "service.client"
+#: Tenant-endpoint analysis faults behind the service bridge.
+SITE_SERVICE_STEP = "service.step"
 
 KNOWN_SITES = frozenset(
     {
@@ -66,6 +77,9 @@ KNOWN_SITES = frozenset(
         SITE_STORAGE_WRITE,
         SITE_STAGING_ENDPOINT,
         SITE_STAGING_QUEUE,
+        SITE_SERVICE_FRAME,
+        SITE_SERVICE_CLIENT,
+        SITE_SERVICE_STEP,
     }
 )
 

@@ -43,9 +43,19 @@ from repro.mpi.launcher import (
     run_spmd,
 )
 from repro.mpi.halo import HaloExchanger
+from repro.mpi.framing import (
+    FrameChannel,
+    FrameError,
+    MalformedFrameError,
+    TruncatedFrameError,
+)
 
 __all__ = [
     "BACKENDS",
+    "FrameChannel",
+    "FrameError",
+    "MalformedFrameError",
+    "TruncatedFrameError",
     "resolve_backend",
     "HaloExchanger",
     "Communicator",

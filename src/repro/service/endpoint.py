@@ -1,0 +1,258 @@
+"""Per-tenant analysis endpoints: one Bridge, one tenant, one artifact dir.
+
+Each tenant the server admits gets a private analysis pipeline -- a
+single-rank simulated communicator, a :class:`~repro.core.bridge.Bridge`,
+and the shared analysis stack (histogram + the Catalyst slice pipeline)
+writing into ``<out>/tenants/<name>/``.  Isolation is structural: tenants
+share no communicator, no adaptor state, and no output directory, which is
+what lets the acceptance test assert byte-identical artifacts between a
+socket-streamed run and :func:`run_workload_inproc` driving the same
+endpoint directly.
+
+Degradation under chaos reuses the staging transport's policy objects: a
+:class:`~repro.faults.policies.CircuitBreaker` per tenant trips after
+consecutive analysis failures (injected at the ``service.step`` site) and
+admits single probes, so a tenant with a poisoned pipeline degrades to
+ingest-only service instead of failing its connection -- the same
+in-transit -> in-line discipline `StagingResilience` applies to FlexPath.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time as _time
+
+import numpy as np
+
+from repro.analysis.histogram import HistogramAnalysis
+from repro.analysis.slice_ import SlicePlane
+from repro.control.journal import DecisionJournal
+from repro.core.adaptors import DataAdaptor
+from repro.core.bridge import Bridge
+from repro.data import Association, DataArray, ImageData
+from repro.faults.plan import SITE_SERVICE_STEP
+from repro.faults.policies import CircuitBreaker
+from repro.infrastructure.catalyst import CatalystAdaptor
+from repro.mpi.communicator import Communicator, _Context
+from repro.service.policy import ServiceDecision
+from repro.util.decomp import Extent
+from repro.util.timers import TimerRegistry
+
+
+class ServiceDataAdaptor(DataAdaptor):
+    """The tenant endpoint's data adaptor: one uniform block per step."""
+
+    def __init__(self, comm) -> None:
+        super().__init__(comm)
+        self._mesh: ImageData | None = None
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def ingest(self, extent: Extent, arrays: dict[str, np.ndarray]) -> None:
+        img = ImageData(extent)
+        for name, values in arrays.items():
+            img.add_point_array(DataArray.from_numpy(name, values))
+        self._mesh = img
+        self._arrays = dict(arrays)
+
+    def get_mesh(self, structure_only: bool = False) -> ImageData:
+        if self._mesh is None:
+            raise RuntimeError("no step ingested")
+        return self._mesh
+
+    def get_array(self, association: Association, name: str) -> DataArray:
+        if association is not Association.POINT or name not in self._arrays:
+            raise KeyError(f"no array {name!r}")
+        return DataArray.from_numpy(name, self._arrays[name])
+
+    def get_number_of_arrays(self, association: Association) -> int:
+        return len(self._arrays) if association is Association.POINT else 0
+
+    def get_array_name(self, association: Association, index: int) -> str:
+        return sorted(self._arrays)[index]
+
+    def release_data(self) -> None:
+        self._mesh = None
+        self._arrays = {}
+
+
+class InjectedAnalysisError(RuntimeError):
+    """Raised inside the endpoint when ``service.step`` injects a failure."""
+
+
+def analysis_fault(injector, slot: int, step: int, trace=None):
+    """A hook analysis that consults the fault plan before real analyses.
+
+    Runs first in the bridge's analysis list so an injected ``analysis_fail``
+    aborts the step exactly where a real pipeline failure would surface.
+    """
+    action = injector.draw(SITE_SERVICE_STEP, slot, step=step, trace=trace)
+    if action is None:
+        return
+    if action.kind == "analysis_fail":
+        raise InjectedAnalysisError(f"injected analysis failure at step {step}")
+    if action.kind == "stall":
+        _time.sleep(float(action.params.get("seconds", 0.002)))
+
+
+class TenantEndpoint:
+    """One tenant's analysis pipeline behind the service.
+
+    ``process`` is called in the tenant's step order -- by the connection
+    handler (in-line placement) or the tenant's single worker thread
+    (staged placement) -- so the endpoint journal is deterministic despite
+    server-side concurrency.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        slot: int,
+        out_dir: str,
+        seed: int,
+        recorder=None,
+        injector=None,
+        journal: DecisionJournal | None = None,
+        bins: int = 32,
+        resolution: tuple[int, int] = (160, 90),
+        render: bool = True,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        self.tenant = tenant
+        self.slot = slot
+        self.out_dir = out_dir
+        self.seed = seed
+        self.recorder = recorder
+        self.injector = injector
+        self.journal = journal
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        os.makedirs(out_dir, exist_ok=True)
+        comm = Communicator(_Context(1), 0)
+        if recorder is not None:
+            comm.attach_trace(recorder)
+        self.adaptor = ServiceDataAdaptor(comm)
+        self.bridge = Bridge(
+            comm, self.adaptor, timers=TimerRegistry(), trace=recorder
+        )
+        self.histogram = HistogramAnalysis(bins=bins, array="data")
+        self.bridge.add_analysis(self.histogram)
+        self.catalyst: CatalystAdaptor | None = None
+        if render:
+            self.catalyst = CatalystAdaptor(
+                plane=SlicePlane(2, 0),
+                array="data",
+                resolution=resolution,
+                output_dir=out_dir,
+                compression_level=6,
+            )
+            self.bridge.add_analysis(self.catalyst)
+        self.bridge.initialize()
+        self.steps_ok = 0
+        self.steps_failed = 0
+        self.steps_skipped = 0
+        self._seq = 0
+        self._hist_steps: list[int] = []
+        self._finalized = False
+
+    def _record(self, verdict: str, step: int, detail: str | None = None) -> None:
+        if self.journal is None:
+            return
+        seq = self._seq
+        self._seq += 1
+        self.journal.record(
+            ServiceDecision(
+                seq=seq, event="analysis", verdict=verdict, bytes=step,
+                detail=detail,
+            )
+        )
+
+    def process(
+        self,
+        step: int,
+        sim_time: float,
+        arrays: dict[str, np.ndarray],
+        extent: Extent,
+    ) -> tuple[str, float]:
+        """Run the tenant's analyses on one admitted step.
+
+        Returns ``(outcome, analysis_seconds)`` with outcome ``"ok"``,
+        ``"failed"`` (injected/real analysis error, breaker charged), or
+        ``"skipped"`` (breaker open -- degraded, ingest-only service).
+        """
+        if not self.breaker.allow():
+            self.steps_skipped += 1
+            self._record("skipped", step, detail="circuit open")
+            return "skipped", 0.0
+        t0 = _time.perf_counter()
+        try:
+            if self.injector is not None:
+                analysis_fault(self.injector, self.slot, step, self.recorder)
+            self.adaptor.ingest(extent, arrays)
+            self.bridge.execute(sim_time, step)
+        except InjectedAnalysisError as exc:
+            self.adaptor.release_data()
+            self.breaker.record_failure()
+            self.steps_failed += 1
+            self._record("failed", step, detail=str(exc))
+            return "failed", _time.perf_counter() - t0
+        self.breaker.record_success()
+        self.steps_ok += 1
+        self._hist_steps.append(step)
+        self._record("ok", step)
+        return "ok", _time.perf_counter() - t0
+
+    def finalize(self) -> dict:
+        """Close the bridge and write the tenant's histogram artifact.
+
+        Idempotent, like the bridge finalize it wraps: disconnect cleanup
+        and the normal EOS epilogue may both reach it.
+        """
+        if self._finalized:
+            return {}
+        self._finalized = True
+        results = self.bridge.finalize()
+        history = results.get("HistogramAnalysis") or []
+        doc = [
+            {
+                "step": step,
+                "vmin": float(h.vmin),
+                "vmax": float(h.vmax),
+                "counts": [int(c) for c in h.counts],
+            }
+            for step, h in zip(self._hist_steps, history)
+        ]
+        path = os.path.join(self.out_dir, "histograms.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return results
+
+
+def run_workload_inproc(
+    tenant: str,
+    steps,
+    out_dir: str,
+    seed: int = 0,
+    extent: Extent | None = None,
+    bins: int = 32,
+    resolution: tuple[int, int] = (160, 90),
+    render: bool = True,
+) -> TenantEndpoint:
+    """Drive ``steps`` (an iterable of ``(step, time, arrays)``) straight
+    through a :class:`TenantEndpoint` -- no sockets, no quotas.
+
+    This is the equivalence oracle: the artifacts it writes must be
+    byte-identical to the same workload streamed through the server.
+    """
+    endpoint = TenantEndpoint(
+        tenant, 0, out_dir, seed, bins=bins, resolution=resolution,
+        render=render,
+    )
+    for step, sim_time, arrays in steps:
+        first = next(iter(sorted(arrays)))
+        shape = arrays[first].shape
+        ext = extent if extent is not None else Extent(
+            0, shape[0] - 1, 0, shape[1] - 1, 0, (shape[2] if len(shape) > 2 else 1) - 1
+        )
+        endpoint.process(step, sim_time, arrays, ext)
+    endpoint.finalize()
+    return endpoint

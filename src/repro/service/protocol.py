@@ -1,0 +1,120 @@
+"""The service wire protocol: frame kinds and payload codecs.
+
+One tenant connection is a strict state machine over the framed transport
+(:mod:`repro.mpi.framing`)::
+
+    client                          server
+    ------                          ------
+    HELLO {tenant, token, ...}  ->
+                                <-  WELCOME {credits, quotas, slot}
+                                    (or REJECT {code, reason} + close)
+    STEP {step, time, arrays}   ->              } repeated, windowed by
+                                <-  ACK {step, verdict, credits}  } credits
+    ...                         <-  NACK {seq}      (wire-fault recovery)
+    EOS {}                      ->
+                                <-  BYE {summary}
+
+Control payloads are canonical JSON (sorted keys, UTF-8) so the bytes a
+given logical message produces are identical across runs -- the same
+canonicalization discipline the decision journal uses.  STEP payloads carry
+numpy arrays and ride pickle protocol 2+, the established transport idiom
+of the process backend.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any
+
+import numpy as np
+
+# -- frame kinds ------------------------------------------------------------
+HELLO = 1
+WELCOME = 2
+REJECT = 3
+STEP = 4
+ACK = 5
+NACK = 6
+EOS = 7
+BYE = 8
+
+KIND_NAMES = {
+    HELLO: "HELLO",
+    WELCOME: "WELCOME",
+    REJECT: "REJECT",
+    STEP: "STEP",
+    ACK: "ACK",
+    NACK: "NACK",
+    EOS: "EOS",
+    BYE: "BYE",
+}
+
+#: Per-step admission verdicts the server journals and ACKs back.
+VERDICT_ADMIT = "admit"
+VERDICT_SHED = "shed"
+VERDICT_DEGRADE = "degrade"
+VERDICT_REJECT_BYTES = "reject_bytes"
+VERDICT_REJECT_STEPS = "reject_steps"
+
+#: REJECT codes (connection-level refusals).
+REJECT_BAD_TOKEN = "bad_token"
+REJECT_EXPIRED_TOKEN = "expired_token"
+REJECT_UNKNOWN_TENANT = "unknown_tenant"
+REJECT_CAPACITY = "capacity"
+REJECT_BUSY = "tenant_busy"
+REJECT_PROTOCOL = "protocol_error"
+REJECT_QUOTA = "quota_exhausted"
+
+
+class ProtocolError(RuntimeError):
+    """The peer violated the connection state machine."""
+
+
+def encode_control(payload: dict[str, Any]) -> bytes:
+    """Canonical JSON bytes for a control frame (HELLO/WELCOME/ACK/...)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_control(payload: bytes) -> dict[str, Any]:
+    try:
+        obj = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable control payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("control payload must be a JSON object")
+    return obj
+
+
+def encode_step(
+    step: int, time: float, arrays: dict[str, np.ndarray]
+) -> bytes:
+    """A STEP payload: metadata + named arrays, pickled.
+
+    The byte count of the encoded payload is what quota accounting charges
+    -- the actual bytes moved over the transport, matching the paper's
+    "data movement cost" framing rather than a nominal array size.
+    """
+    blob = {
+        "step": int(step),
+        "time": float(time),
+        "arrays": {
+            name: np.ascontiguousarray(values)
+            for name, values in arrays.items()
+        },
+    }
+    return pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_step(payload: bytes) -> tuple[int, float, dict[str, np.ndarray]]:
+    try:
+        blob = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 -- any unpickle failure is protocol
+        raise ProtocolError(f"undecodable STEP payload: {exc}") from exc
+    if (
+        not isinstance(blob, dict)
+        or not isinstance(blob.get("arrays"), dict)
+        or "step" not in blob
+    ):
+        raise ProtocolError("STEP payload missing step/arrays")
+    return int(blob["step"]), float(blob.get("time", 0.0)), blob["arrays"]

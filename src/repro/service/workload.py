@@ -1,0 +1,71 @@
+"""Deterministic synthetic tenant workloads.
+
+The service acceptance contract compares per-tenant artifacts from a
+socket-streamed run against the identical workload run in process, byte
+for byte -- so the workload generator must be a pure function of (tenant
+name, step, shape, seed).  The field is a pair of drifting Gaussian blobs
+whose phase offsets derive from a blake2b hash of the tenant name: every
+tenant gets a visibly distinct stream, with no RNG state to leak between
+runs (the same counter-hash discipline as :func:`repro.faults.plan
+.unit_draw`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.decomp import Extent
+
+
+def tenant_phase(tenant: str, seed: int = 0, salt: str = "") -> float:
+    """A stable per-tenant phase in [0, 1)."""
+    key = f"{seed}:{tenant}:{salt}".encode()
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+def synthetic_field(
+    tenant: str,
+    step: int,
+    shape: tuple[int, int] = (64, 64),
+    seed: int = 0,
+) -> np.ndarray:
+    """The tenant's field at ``step``: shape ``(nx, ny, 1)`` float64."""
+    nx, ny = shape
+    p0 = tenant_phase(tenant, seed, "x")
+    p1 = tenant_phase(tenant, seed, "y")
+    x = np.linspace(0.0, 1.0, nx).reshape(nx, 1)
+    y = np.linspace(0.0, 1.0, ny).reshape(1, ny)
+    t = 0.08 * step
+    cx0 = 0.5 + 0.3 * math.sin(2.0 * math.pi * (p0 + t))
+    cy0 = 0.5 + 0.3 * math.cos(2.0 * math.pi * (p1 + t))
+    cx1 = 0.5 + 0.25 * math.cos(2.0 * math.pi * (p1 + 0.7 * t))
+    cy1 = 0.5 + 0.25 * math.sin(2.0 * math.pi * (p0 + 0.7 * t))
+    blob0 = np.exp(-(((x - cx0) ** 2) + ((y - cy0) ** 2)) / 0.02)
+    blob1 = 0.6 * np.exp(-(((x - cx1) ** 2) + ((y - cy1) ** 2)) / 0.035)
+    return np.ascontiguousarray((blob0 + blob1).reshape(nx, ny, 1))
+
+
+def field_extent(shape: tuple[int, int]) -> Extent:
+    nx, ny = shape
+    return Extent(0, nx - 1, 0, ny - 1, 0, 0)
+
+
+def synthetic_steps(
+    tenant: str,
+    steps: int,
+    shape: tuple[int, int] = (64, 64),
+    seed: int = 0,
+    dt: float = 0.01,
+) -> Iterator[tuple[int, float, dict[str, np.ndarray]]]:
+    """Yield ``(step, time, arrays)`` for a tenant's run -- the exact
+    stream the CLI client, the benchmark, and the in-process equivalence
+    runner all share."""
+    for step in range(steps):
+        yield step, step * dt, {
+            "data": synthetic_field(tenant, step, shape, seed)
+        }

@@ -43,8 +43,13 @@ def session_to_chrome(session: TraceSession) -> dict:
     """Convert a :class:`TraceSession` to a Chrome trace dict."""
     events: list[dict] = [_meta("process_name", 0, f"repro [{session.name}]")]
     for rank in session.ranks:
-        events.append(_meta("thread_name", rank, f"rank {rank}"))
         rec = session.recorder(rank)
+        # Tenant-labeled recorders (the service layer) name their Chrome
+        # lane after the tenant; unlabeled recorders keep ``rank N``.
+        thread = (
+            f"{rec.label} [rank {rank}]" if rec.label else f"rank {rank}"
+        )
+        events.append(_meta("thread_name", rank, thread))
         # Chrome sorts by ts itself, but emitting spans outermost-first per
         # begin time keeps the file diffable and the nesting check trivial.
         for s in sorted(rec.spans, key=lambda s: (s.t0, -s.t1)):

@@ -73,8 +73,18 @@ class TraceRecorder:
     report's top-level-span accounting both rely on.
     """
 
-    def __init__(self, rank: int = 0, epoch: float | None = None) -> None:
+    def __init__(
+        self,
+        rank: int = 0,
+        epoch: float | None = None,
+        label: str | None = None,
+    ) -> None:
         self.rank = rank
+        #: Human-readable identity for multi-tenant traces (the service
+        #: layer labels each tenant's recorder with the tenant name); the
+        #: Chrome exporter uses it for the thread name.  None keeps the
+        #: default ``rank N`` naming.
+        self.label = label
         #: Shared time origin (perf_counter value) for the owning session.
         self.epoch = time.perf_counter() if epoch is None else epoch
         self.spans: list[Span] = []
@@ -234,11 +244,13 @@ class TraceSession:
         self.epoch = time.perf_counter()
         self._recorders: dict[int, TraceRecorder] = {}
 
-    def recorder(self, rank: int = 0) -> TraceRecorder:
+    def recorder(self, rank: int = 0, label: str | None = None) -> TraceRecorder:
         rec = self._recorders.get(rank)
         if rec is None:
-            rec = TraceRecorder(rank, epoch=self.epoch)
+            rec = TraceRecorder(rank, epoch=self.epoch, label=label)
             self._recorders[rank] = rec
+        elif label is not None and rec.label is None:
+            rec.label = label
         return rec
 
     @property

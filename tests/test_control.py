@@ -305,6 +305,117 @@ class TestController:
         assert ctrl.journal.slo["max_step_seconds"] is not None
 
 
+# -- sensed outcomes: spans grafted onto the outcome feed ---------------------
+
+
+def _sensed_controller(**kwargs):
+    """A controller with a span sensor fed by synthetic (modeled) spans."""
+    ctrl = _controller(**kwargs)
+    rec = TraceRecorder(rank=0, epoch=0.0)
+    ctrl.attach(rec)
+    return ctrl, rec
+
+
+def _feed_step(rec, step, sim, analysis, write=0.0):
+    """Emit one step's top-level spans with fixed, deterministic times."""
+    t = float(step)
+    rec.complete("simulation::advance", t, t + sim, step=step)
+    t += sim
+    rec.complete("analysis::execute", t, t + analysis, step=step)
+    if write > 0.0:
+        t += analysis
+        rec.complete("io::write", t, t + write, step=step)
+
+
+class TestSensedOutcomes:
+    def test_outcome_observation_includes_measured_phases(self):
+        ctrl, rec = _sensed_controller()
+        _feed_step(rec, 0, sim=0.2, analysis=0.1, write=0.05)
+        decision = ctrl.observe_outcome(0, staged=True)
+        assert decision.observed["attempted"] == 1.0
+        assert decision.observed["staged"] == 1.0
+        assert decision.observed["simulation"] == pytest.approx(0.2)
+        assert decision.observed["analysis"] == pytest.approx(0.1)
+        assert decision.observed["write"] == pytest.approx(0.05)
+
+    def test_sensed_analysis_seconds_drive_continuous_derate(self):
+        # A staged step whose measured analysis cost matches a heavily
+        # derated fabric must raise belief continuously -- the signal the
+        # discrete outcome feed (healthy => flat 0.0) cannot carry.
+        ctrl, rec = _sensed_controller()
+        slow = ctrl.model.predict(ctrl.plant_config(), 0.9)
+        _feed_step(rec, 0, sim=slow.sim, analysis=slow.analysis)
+        ctrl.observe_outcome(0, staged=True)
+        assert ctrl.believed_derate > 0.5
+
+    def test_sensed_failure_still_imputes_outcome_derate(self):
+        from repro.control.controller import OUTCOME_DERATE
+
+        ctrl, rec = _sensed_controller()
+        _feed_step(rec, 0, sim=0.001, analysis=0.001)
+        ctrl.observe_outcome(0, staged=False)
+        # ALPHA_RAISE-weighted EWMA from 0 toward the imputed sample.
+        assert ctrl.believed_derate == pytest.approx(0.9 * OUTCOME_DERATE)
+
+    def test_sensed_slo_violation_bypasses_cooldown(self):
+        ctrl, rec = _sensed_controller()
+        _feed_step(rec, 0, sim=0.1, analysis=2.0)  # way past max_step_seconds
+        decision = ctrl.observe_outcome(0, staged=True)
+        assert decision.slo_violated
+
+    def test_unsensed_observation_unchanged(self):
+        # No sensor attached: the observed dict stays the discrete pair,
+        # which is what keeps CI's chaos-smoke byte-identity diff green.
+        ctrl = _controller()
+        decision = ctrl.observe_outcome(0, staged=True)
+        assert set(decision.observed) == {"attempted", "staged"}
+
+    def test_sensed_journal_determinism(self):
+        def run():
+            ctrl, rec = _sensed_controller(seed=11)
+            for step in range(12):
+                staged = not (3 <= step < 9)
+                if (
+                    ctrl.config.placement == "in-line"
+                    and not ctrl.wants_in_transit()
+                ):
+                    staged = False
+                _feed_step(
+                    rec, step, sim=0.01 + 0.001 * step, analysis=0.02
+                )
+                ctrl.observe_outcome(step, staged=staged)
+            return ctrl.journal.to_json()
+
+        assert run() == run()
+
+    def test_chaos_spans_mode_group_journals_identical(self, tmp_path):
+        from repro.faults.chaos import run_chaos
+
+        report = run_chaos(
+            seed=42,
+            ranks=3,
+            steps=6,
+            out_dir=str(tmp_path),
+            controller=True,
+            sense="spans",
+        )
+        assert report["controller"]["journals_identical"]
+        journal = json.loads((tmp_path / "decision_journal.json").read_text())
+        assert journal["meta"]["mode"] == "spans"
+        assert len(journal["decisions"]) == 6
+        # At least one decision carries a measured per-phase observation.
+        assert any(
+            "simulation" in d["observed"] or "analysis" in d["observed"]
+            for d in journal["decisions"]
+        )
+
+    def test_chaos_rejects_unknown_sense(self, tmp_path):
+        from repro.faults.chaos import run_chaos
+
+        with pytest.raises(ValueError, match="sense"):
+            run_chaos(out_dir=str(tmp_path), sense="vibes")
+
+
 # -- the closed-loop demo -----------------------------------------------------
 
 
