@@ -499,3 +499,60 @@ def test_codec_pool_speedup(report):
         # Single CPU: band staging + IPC overhead with zero concurrency to
         # recover it; bound the overhead only.
         assert speedup >= 0.3, f"codec pool overhead too high: {speedup:.2f}x"
+
+
+# -- 7. nbody particle step throughput ----------------------------------------
+
+
+def test_nbody_step_throughput(report):
+    """Leapfrog particle-mesh step cost: migrate + int deposit + FFT solve.
+
+    The nbody miniapp trades raw speed for bit-exactness (the fixed-point
+    deposit quantizes every CIC contribution so rank decomposition cannot
+    reorder the sums).  This records what that costs: steps/s and
+    particle-steps/s for a single-rank step loop at a production-shaped
+    grid, floored in ``floors.gates`` so a refactor cannot quietly turn
+    the deposit into a per-particle Python loop.
+    """
+    from repro.apps.nbody import NBodySimulation
+
+    grid, n_particles, steps = 16, 4096, 5
+
+    def _loop():
+        def prog(comm):
+            sim = NBodySimulation(
+                comm, grid=grid, n_particles=n_particles, seed=11,
+                velocity_scale=0.25,
+            )
+            sim.run(steps)
+            return sim.migrated_out
+
+        return run_spmd(1, prog, backend="thread", timeout=120.0)
+
+    migrated = _loop()[0]  # warm numpy/FFT caches before timing
+    t = _best_of(_loop, 3)
+    steps_per_s = steps / t
+    _record(
+        "nbody_step",
+        {
+            "grid": [grid, grid, grid],
+            "n_particles": n_particles,
+            "steps": steps,
+            "wall_s": t,
+            "steps_per_s": steps_per_s,
+            "particle_steps_per_s": steps_per_s * n_particles,
+            "migrated_out": migrated,
+        },
+    )
+    report(
+        "perf_nbody_step",
+        f"nbody {grid}^3 grid, {n_particles} particles, {steps} steps",
+        [
+            f"wall:            {t * 1e3:8.1f} ms",
+            f"steps/s:         {steps_per_s:8.1f}",
+            f"particle-steps/s:{steps_per_s * n_particles:10.0f}",
+        ],
+    )
+    # Vectorized deposit + FFT solve runs tens of steps/s even on one CPU;
+    # a per-particle Python loop would be two orders of magnitude slower.
+    assert steps_per_s >= 2.0, f"nbody step rate collapsed: {steps_per_s:.2f}/s"

@@ -55,6 +55,13 @@ from repro.analysis.hybrid import (
     ThreadedAutocorrelationState,
 )
 from repro.analysis.probe import ObliqueSliceAnalysis, probe_points
+from repro.analysis.particles import (
+    DensityProjectionAnalysis,
+    FriendsOfFriendsAnalysis,
+    PowerSpectrumAnalysis,
+    friends_of_friends,
+    halo_sizes,
+)
 
 __all__ = [
     "Histogram",
@@ -87,4 +94,9 @@ __all__ = [
     "ThreadedAutocorrelationState",
     "ObliqueSliceAnalysis",
     "probe_points",
+    "DensityProjectionAnalysis",
+    "PowerSpectrumAnalysis",
+    "FriendsOfFriendsAnalysis",
+    "friends_of_friends",
+    "halo_sizes",
 ]

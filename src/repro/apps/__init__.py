@@ -20,11 +20,18 @@ Three SENSEI-instrumented codes matching the paper's application studies:
 The proxies are not the production codes; they are cost- and
 structure-faithful substitutes (see DESIGN.md's substitution table) whose
 purpose is to exercise the identical SENSEI code paths the paper measures.
+
+:mod:`nbody` rounds out the family with the variable-length workload
+shape: a leapfrog particle-mesh miniapp whose per-rank particle counts
+change every step as particles migrate between domain slabs, with
+exact-integer deposits that keep analysis artifacts bit-identical across
+rank counts and backends.
 """
 
 from repro.apps.avf_leslie_proxy import AVFLeslieSimulation, mixing_layer_state
 from repro.apps.phasta_proxy import PhastaSimulation, PhastaSliceRender
 from repro.apps.nyx_proxy import NyxSimulation
+from repro.apps.nbody import NBodyDataAdaptor, NBodySimulation, run_nbody
 
 __all__ = [
     "AVFLeslieSimulation",
@@ -32,4 +39,7 @@ __all__ = [
     "PhastaSimulation",
     "PhastaSliceRender",
     "NyxSimulation",
+    "NBodySimulation",
+    "NBodyDataAdaptor",
+    "run_nbody",
 ]

@@ -9,6 +9,7 @@
     python -m repro lint src/         # legacy repo-contract linter (5 rules)
     python -m repro analyze src/      # full CFG/dataflow static analyzer
     python -m repro chaos --seed 42   # seeded fault-injection harness
+    python -m repro nbody --ranks 2   # particle miniapp through all 4 infras
     python -m repro control --seed 7  # online-autotuning closed-loop demo
     python -m repro serve --socket /tmp/repro.sock --tenants a,b --secret s
     python -m repro submit --socket /tmp/repro.sock --tenant a --secret s
@@ -98,6 +99,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos.add_argument("--seed", type=int, default=42, help="fault-plan seed")
+    chaos.add_argument(
+        "--app",
+        choices=("oscillator", "nbody"),
+        default="oscillator",
+        help=(
+            "simulation under test: the grid-shaped oscillator miniapp or "
+            "the particle nbody miniapp (ragged migration payloads; "
+            "checkpoint interval is forced to 1 so recovery replays "
+            "particle ownership exactly)"
+        ),
+    )
     chaos.add_argument(
         "--ranks", type=int, default=4, help="world size (writers + 1 endpoint)"
     )
@@ -244,7 +256,55 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--seed", type=int, default=0, help="workload seed")
     submit.add_argument(
+        "--workload",
+        choices=("synthetic", "nbody"),
+        default="synthetic",
+        help=(
+            "step generator: drifting-blob synthetic fields or the nbody "
+            "miniapp's density projections (grid from --grid width)"
+        ),
+    )
+    submit.add_argument(
         "--timeout", type=float, default=60.0, help="socket timeout seconds"
+    )
+    nbody = sub.add_parser(
+        "nbody",
+        help=(
+            "run the particle-mesh N-body miniapp through the SENSEI "
+            "bridge with the particle analyses (density projection, power "
+            "spectrum, FoF halos) and any of the four infrastructure "
+            "endpoints; writes an artifact-checksum manifest that is "
+            "byte-identical across rank counts and SPMD backends"
+        ),
+    )
+    nbody.add_argument(
+        "--out", default="nbody_artifacts", help="artifact directory"
+    )
+    nbody.add_argument("--ranks", type=int, default=2, help="world size")
+    nbody.add_argument("--steps", type=int, default=4, help="leapfrog steps")
+    nbody.add_argument("--grid", type=int, default=16, help="mesh cells/axis")
+    nbody.add_argument(
+        "--particles", type=int, default=400, help="global particle count"
+    )
+    nbody.add_argument("--seed", type=int, default=42, help="IC seed")
+    nbody.add_argument(
+        "--infrastructures",
+        default="catalyst,libsim,adios,glean",
+        help="comma-separated endpoint subset (empty string: analyses only)",
+    )
+    nbody.add_argument(
+        "--no-sanitize",
+        action="store_true",
+        help="skip the data-access sanitizer (guarded views, fingerprints)",
+    )
+    nbody.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help=(
+            "SPMD execution backend (default: REPRO_SPMD_BACKEND or "
+            "thread); manifests are byte-identical across backends"
+        ),
     )
     control = sub.add_parser(
         "control",
@@ -311,6 +371,7 @@ def _chaos_main(args) -> int:
             backend=args.backend,
             controller=args.controller,
             sense=args.sense,
+            app=args.app,
         )
     except ChaosError as exc:
         print(f"chaos run failed accounting checks: {exc}", file=sys.stderr)
@@ -319,6 +380,57 @@ def _chaos_main(args) -> int:
     print(f"recovery report: {args.out}/recovery_report.json")
     if args.controller:
         print(f"decision journal: {args.out}/decision_journal.json")
+    return 0
+
+
+def _nbody_main(args) -> int:
+    import os
+
+    from repro.apps.nbody import run_nbody
+    from repro.trace import (
+        TraceSession,
+        render_report,
+        report_from_session,
+        validate_chrome_trace,
+    )
+
+    infra = tuple(
+        s.strip() for s in args.infrastructures.split(",") if s.strip()
+    )
+    session = TraceSession(name="nbody")
+    manifest = run_nbody(
+        args.out,
+        ranks=args.ranks,
+        steps=args.steps,
+        grid=args.grid,
+        n_particles=args.particles,
+        seed=args.seed,
+        backend=args.backend,
+        infrastructures=infra,
+        sanitize=not args.no_sanitize,
+        trace=session,
+    )
+    trace_path = os.path.join(args.out, "measured.json")
+    session.export(trace_path)
+    problems = validate_chrome_trace(session.to_chrome())
+    if problems:
+        for p in problems:
+            print(f"trace schema violation: {p}", file=sys.stderr)
+        return 1
+    report = report_from_session(session)
+    rendered = render_report(report)
+    report_path = os.path.join(args.out, "phase_report.txt")
+    with open(report_path, "w", encoding="utf-8") as fh:
+        fh.write(rendered + "\n")
+    print(rendered)
+    print(
+        f"\n{args.ranks} rank(s), {args.steps} step(s): "
+        f"{manifest['migrated']} particle(s) migrated, final counts "
+        f"{manifest['final_counts']}, {manifest['halo_counts'][-1]} halo(s) "
+        "at the last step"
+    )
+    print(f"artifact manifest: {args.out}/manifest.json")
+    print(f"trace: {trace_path}; phase report: {report_path}")
     return 0
 
 
@@ -443,6 +555,7 @@ def _submit_main(args) -> int:
             shape=_parse_resolution(args.grid),
             seed=args.seed,
             timeout=args.timeout,
+            workload=args.workload,
         )
     except ServiceError as exc:
         print(f"submit failed for {args.tenant!r}: {exc}", file=sys.stderr)
@@ -521,6 +634,8 @@ def main(argv: list[str] | None = None) -> int:
         return _report_main(args)
     if args.command == "chaos":
         return _chaos_main(args)
+    if args.command == "nbody":
+        return _nbody_main(args)
     if args.command == "control":
         return _control_main(args)
     if args.command == "serve":

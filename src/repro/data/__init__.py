@@ -13,7 +13,11 @@ NumPy:
   codes expose their local domains;
 - ghost cells are marked with a ``vtkGhostLevels``-style byte array
   (Sec. 4.2.3, Nyx: "blanking out ghost cells ... by associating a
-  vtkGhostLevels attribute -- a byte array of flags marking ghost cells").
+  vtkGhostLevels attribute -- a byte array of flags marking ghost cells");
+- :class:`ParticleSet` is the ragged, variable-per-rank particle
+  population (the paper's Nyx workload shape), with exact-integer
+  deposit kernels that keep derived grids bit-identical across
+  decompositions.
 """
 
 from repro.data.array import AOS, SOA, DataArray, Layout
@@ -23,6 +27,14 @@ from repro.data.rectilinear import RectilinearGrid
 from repro.data.unstructured import CellType, UnstructuredGrid
 from repro.data.multiblock import MultiBlockDataset
 from repro.data.ghost import ghost_levels_for_extent, interior_mask
+from repro.data.particles import (
+    DEPOSIT_SCALE,
+    PARTICLE_ARRAYS,
+    ParticleSet,
+    cic_deposit_int,
+    cic_deposit_int_2d,
+    cic_gather,
+)
 
 __all__ = [
     "DataArray",
@@ -39,4 +51,10 @@ __all__ = [
     "MultiBlockDataset",
     "ghost_levels_for_extent",
     "interior_mask",
+    "ParticleSet",
+    "PARTICLE_ARRAYS",
+    "DEPOSIT_SCALE",
+    "cic_deposit_int",
+    "cic_deposit_int_2d",
+    "cic_gather",
 ]

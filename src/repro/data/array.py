@@ -169,6 +169,30 @@ class DataArray:
         out._guarded = True
         return out
 
+    def slice_tuples(self, start: int, stop: int) -> "DataArray":
+        """A zero-copy view over the tuple range ``[start, stop)``.
+
+        This is how per-rank slices of a ragged particle population are
+        handed to analyses: every component (and the AoS base, when one
+        exists) is a strided view of the parent's storage, so
+        :attr:`is_zero_copy` stays True, :meth:`is_zero_copy_of` holds
+        against the original simulation buffer, and the write-protected
+        state of guarded parents survives slicing.  An empty range is
+        valid -- a rank that owns zero particles slices ``[n, n)``.
+        """
+        start, stop, _ = slice(start, stop).indices(self.num_tuples)
+        out = DataArray(
+            self.name, [c[start:stop] for c in self._components], self.layout
+        )
+        if self._aos_base is not None:
+            out._aos_base = self._aos_base[start:stop]
+        # Slicing itself never copies, but a slice of a copied buffer is
+        # still backed by copied bytes -- report that honestly.
+        if self._construction_copied:
+            out._construction_copied = out.nbytes
+        out._guarded = self._guarded
+        return out
+
     def fingerprint(self) -> int:
         """A content fingerprint (CRC-32 over components, shape, dtype).
 
@@ -236,9 +260,20 @@ class DataArray:
         return out
 
     def min(self) -> float:
+        """Smallest value across components; ``+inf`` when empty.
+
+        The infinity sentinels mirror the empty-rank convention of the
+        parallel reductions (a rank owning zero particles contributes the
+        identity), so ragged views feed straight into min/max collectives.
+        """
+        if self.num_tuples == 0:
+            return float("inf")
         return float(min(c.min() for c in self._components))
 
     def max(self) -> float:
+        """Largest value across components; ``-inf`` when empty."""
+        if self.num_tuples == 0:
+            return float("-inf")
         return float(max(c.max() for c in self._components))
 
     def __len__(self) -> int:

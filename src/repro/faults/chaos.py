@@ -42,9 +42,12 @@ class ChaosError(AssertionError):
     """The chaos run completed but its accounting invariants failed."""
 
 
-def _make_catalyst(out_dir: str, sub: str, index: int) -> CatalystAdaptor:
+def _make_catalyst(
+    out_dir: str, sub: str, index: int, array: str = "data"
+) -> CatalystAdaptor:
     return CatalystAdaptor(
         plane=SlicePlane(2, index),
+        array=array,
         resolution=(320, 180),
         output_dir=os.path.join(out_dir, sub),
         compression_level=6,
@@ -64,6 +67,7 @@ def run_chaos(
     backend: str | None = None,
     controller: bool = False,
     sense: str = "outcomes",
+    app: str = "oscillator",
 ) -> dict[str, Any]:
     """Run the seeded chaos job; returns (and writes) the recovery report.
 
@@ -83,6 +87,13 @@ def run_chaos(
     which must be identical across the group -- is written to
     ``decision_journal.json`` alongside the recovery report.
 
+    ``app`` selects the simulation under test: the grid-shaped
+    ``"oscillator"`` miniapp (default) or the ``"nbody"`` particle miniapp,
+    whose ragged migration payloads exercise the fault sites with
+    variable-length traffic.  For nbody the checkpoint interval is forced
+    to 1: recovery must never replay a step that communicates, so the
+    retained snapshot has to be the step immediately before any death.
+
     ``sense`` picks the controller's verify feed: ``"outcomes"`` (default)
     observes only the discrete staged/degraded consensus, which keeps the
     journal a pure function of the seed (byte-identical across repeat
@@ -94,11 +105,21 @@ def run_chaos(
     """
     if sense not in ("outcomes", "spans"):
         raise ValueError(f"sense must be 'outcomes' or 'spans', got {sense!r}")
+    if app not in ("oscillator", "nbody"):
+        raise ValueError(f"app must be 'oscillator' or 'nbody', got {app!r}")
     if ranks < 2:
         raise ValueError("chaos needs at least 2 ranks (1 writer + 1 endpoint)")
     if steps < 3:
         raise ValueError("chaos needs at least 3 steps")
     n_writers = ranks - 1
+    if app == "nbody":
+        # Recovery for the particle app must never *replay* steps: a
+        # replayed step would re-send migration payloads to peers who are
+        # already past it.  With interval 1 the retained snapshot is always
+        # the step right before the death, so recovery is restore plus one
+        # re-issued step -- and that step's fault site fires before its
+        # first send, so no bytes from the dead attempt are on the wire.
+        checkpoint_interval = 1
     if plan is None:
         plan = chaos_plan(seed, n_writers, steps)
     injector = FaultInjector(plan)
@@ -106,16 +127,30 @@ def run_chaos(
     os.makedirs(out_dir, exist_ok=True)
     retry = RetryPolicy(max_attempts=8, base_delay=0.001, max_delay=0.01, seed=seed)
     slice_index = global_dims[2] // 2
+    array = "data" if app == "oscillator" else "density"
+
+    def _make_sim(group, timers):
+        if app == "nbody":
+            from repro.apps.nbody import NBodySimulation
+
+            return NBodySimulation(
+                group,
+                grid=global_dims[0],
+                n_particles=16 * global_dims[0] ** 2,
+                seed=seed,
+                timers=timers,
+            )
+        return OscillatorSimulation(
+            group, global_dims, default_oscillators(), dt=0.01, timers=timers
+        )
 
     def writer_program(group, writer_adaptor):
         timers = TimerRegistry()
-        sim = OscillatorSimulation(
-            group, global_dims, default_oscillators(), dt=0.01, timers=timers
-        )
+        sim = _make_sim(group, timers)
         bridge = Bridge(group, sim.make_data_adaptor(), timers=timers)
-        bridge.add_analysis(HistogramAnalysis(bins=32))
+        bridge.add_analysis(HistogramAnalysis(bins=32, array=array))
         bridge.add_analysis(
-            _bp_adaptor(os.path.join(out_dir, "steps.bp"), retry)
+            _bp_adaptor(os.path.join(out_dir, "steps.bp"), retry, array)
         )
         bridge.add_analysis(writer_adaptor)
         bridge.initialize()
@@ -139,7 +174,7 @@ def run_chaos(
             ckpt.maybe_save(sim)
             bridge.execute(sim.time, sim.step)
         results = bridge.finalize()
-        return {
+        out = {
             "rank": group.rank,
             "results": results,
             "deaths": deaths,
@@ -147,9 +182,18 @@ def run_chaos(
             "checkpoint_saves": ckpt.saves,
             "checkpoint_restores": ckpt.restores,
         }
+        if app == "nbody":
+            # Exact post-run particle state: the chaos determinism tests
+            # compare these against a fault-free run to prove recovery
+            # replayed particle ownership bit-for-bit.
+            out["n_local"] = sim.n_local
+            out["particles_fingerprint"] = sim.particles.fingerprint()
+            out["migrated_out"] = sim.migrated_out
+            out["migrated_in"] = sim.migrated_in
+        return out
 
     def resilience_factory(group):
-        fallback = _make_catalyst(out_dir, "inline", slice_index)
+        fallback = _make_catalyst(out_dir, "inline", slice_index, array)
         ctrl = None
         if controller:
             from repro.control import Controller
@@ -178,7 +222,10 @@ def run_chaos(
         n_writers,
         1,
         writer_program,
-        lambda endpoint_comm: _make_catalyst(out_dir, "staged", slice_index),
+        lambda endpoint_comm: _make_catalyst(
+            out_dir, "staged", slice_index, array
+        ),
+        array=array,
         timeout=timeout,
         faults=injector,
         resilience_factory=resilience_factory,
@@ -189,15 +236,31 @@ def run_chaos(
     report = _build_report(
         seed, ranks, steps, injector, trace, job, out_dir
     )
+    report["app"] = app
+    report["checkpoint_interval"] = checkpoint_interval
+    if app == "nbody":
+        report["nbody"] = {
+            "final_counts": [
+                w["n_local"]
+                for w in sorted(job.writer_results, key=lambda w: w["rank"])
+            ],
+            "particles_fingerprints": [
+                w["particles_fingerprint"]
+                for w in sorted(job.writer_results, key=lambda w: w["rank"])
+            ],
+            "migrated": sum(
+                w["migrated_out"] for w in job.writer_results
+            ),
+        }
     _check_accounting(report, steps, n_writers)
     _write_artifacts(report, job, out_dir)
     return report
 
 
-def _bp_adaptor(path, retry):
+def _bp_adaptor(path, retry, array="data"):
     from repro.infrastructure.adios import AdiosBPAdaptor
 
-    return AdiosBPAdaptor(path, retry=retry)
+    return AdiosBPAdaptor(path, array=array, retry=retry)
 
 
 def _build_report(seed, ranks, steps, injector, trace, job, out_dir):

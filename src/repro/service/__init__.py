@@ -49,7 +49,12 @@ from repro.service.tenancy import (
     issue_token,
     verify_token,
 )
-from repro.service.workload import synthetic_field, synthetic_steps
+from repro.service.workload import (
+    nbody_seed,
+    nbody_steps,
+    synthetic_field,
+    synthetic_steps,
+)
 
 __all__ = [
     "BytesInFlight",
@@ -69,6 +74,8 @@ __all__ = [
     "build_cost_report",
     "dump_journals",
     "issue_token",
+    "nbody_seed",
+    "nbody_steps",
     "run_client_workload",
     "run_workload_inproc",
     "synthetic_field",

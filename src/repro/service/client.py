@@ -230,16 +230,28 @@ def run_client_workload(
     seed: int = 0,
     injector=None,
     timeout: float = 60.0,
+    workload: str = "synthetic",
 ) -> dict:
     """One tenant's full deterministic workload against a running server;
-    the helper the CLI, the benchmark, and the smoke tests share."""
-    from repro.service.workload import synthetic_steps
+    the helper the CLI, the benchmark, and the smoke tests share.
 
+    ``workload`` selects the generator: ``"synthetic"`` (drifting blobs)
+    or ``"nbody"`` (the particle miniapp's density projections, grid size
+    taken from ``shape[0]``).
+    """
+    from repro.service.workload import nbody_steps, synthetic_steps
+
+    if workload == "synthetic":
+        stream = synthetic_steps(tenant, steps, shape, seed)
+    elif workload == "nbody":
+        stream = nbody_steps(tenant, steps, grid=shape[0], seed=seed)
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
     client = ServiceClient(
         socket_path, tenant, token, injector=injector, timeout=timeout
     )
     t0 = _time.perf_counter()
-    summary = client.stream(synthetic_steps(tenant, steps, shape, seed))
+    summary = client.stream(stream)
     summary = dict(summary)
     summary["wall_seconds"] = _time.perf_counter() - t0
     summary["verdicts"] = list(client.verdicts)

@@ -69,3 +69,53 @@ def synthetic_steps(
         yield step, step * dt, {
             "data": synthetic_field(tenant, step, shape, seed)
         }
+
+
+def nbody_seed(tenant: str, seed: int = 0) -> int:
+    """A stable per-tenant nbody IC seed (same counter-hash discipline
+    as :func:`tenant_phase`, different codomain)."""
+    key = f"{seed}:{tenant}:nbody".encode()
+    digest = hashlib.blake2b(key, digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+def nbody_steps(
+    tenant: str,
+    steps: int,
+    grid: int = 16,
+    n_particles: int = 256,
+    seed: int = 0,
+) -> Iterator[tuple[int, float, dict[str, np.ndarray]]]:
+    """Yield the nbody miniapp's per-step density projections as a tenant
+    stream: ``(step, time, {"data": (grid, grid, 1) float64})``.
+
+    The whole trajectory is computed up front on a single simulated rank
+    seeded per tenant (exact-integer deposits make it a pure function of
+    the seed), then replayed as the same ``(step, time, arrays)`` tuples
+    :func:`synthetic_steps` yields -- so an nbody tenant flows through the
+    socket client, the server, and the in-process equivalence oracle with
+    zero special-casing.
+    """
+    from repro.apps.nbody import NBodySimulation
+    from repro.mpi import run_spmd
+
+    ic_seed = nbody_seed(tenant, seed)
+
+    def program(comm):
+        sim = NBodySimulation(
+            comm, grid=grid, n_particles=n_particles, seed=ic_seed
+        )
+        frames = []
+        for _ in range(steps):
+            sim.advance()
+            # Project the replicated exact density along x; keep the
+            # (ny, nz, 1) layout every service consumer expects.
+            frames.append(
+                (sim.time, sim.density.sum(axis=0).reshape(grid, grid, 1))
+            )
+        return frames
+
+    # Threads, one rank: deterministic, no subprocess spawn cost.
+    frames = run_spmd(1, program, backend="thread")[0]
+    for step, (sim_time, field) in enumerate(frames):
+        yield step, sim_time, {"data": field}

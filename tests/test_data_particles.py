@@ -1,0 +1,239 @@
+"""ParticleSet, ragged DataArray views, and the exact deposit kernels.
+
+Satellite contract of the nbody PR: ``DataArray`` introspection
+(``is_zero_copy``, ``fingerprint``, the write guard) must hold on
+*per-rank slices* of a ragged particle population, because that is what
+the sanitizer polices when an analysis receives one rank's variable-length
+share of a ``ParticleSet``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Association,
+    DataArray,
+    DEPOSIT_SCALE,
+    PARTICLE_ARRAYS,
+    ParticleSet,
+    cic_deposit_int,
+    cic_deposit_int_2d,
+    cic_gather,
+)
+
+
+def _make_set(n=12, seed=3):
+    rng = np.random.default_rng(seed)
+    return ParticleSet(
+        np.arange(n, dtype=np.int64),
+        rng.random((n, 3)),
+        rng.random((n, 3)) - 0.5,
+        rng.integers(1, 17, n) / 16.0,
+    )
+
+
+class TestParticleSet:
+    def test_arrays_registered_zero_copy(self):
+        p = _make_set()
+        for name in PARTICLE_ARRAYS:
+            arr = p.get_array(Association.POINT, name)
+            assert arr.is_zero_copy
+        pos = p.get_array(Association.POINT, "position")
+        assert pos.is_zero_copy_of(p.positions)
+        assert pos.as_aos() is p.positions  # AoS base returned uncopied
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSet(
+                np.arange(3), np.zeros((4, 3)), np.zeros((3, 3)), np.zeros(3)
+            )
+        with pytest.raises(ValueError):
+            ParticleSet(
+                np.arange(3), np.zeros((3, 3)), np.zeros((3, 3)), np.zeros(4)
+            )
+
+    def test_empty_population_is_valid(self):
+        p = ParticleSet.empty()
+        assert p.num_particles == 0
+        assert p.num_points == 0
+        assert p.total_mass() == 0.0
+        assert np.array_equal(p.momentum(), np.zeros(3))
+        arr = p.get_array(Association.POINT, "mass")
+        assert arr.num_tuples == 0
+
+    def test_concatenate_preserves_order_and_bytes(self):
+        a, b = _make_set(5, 1), _make_set(3, 2)
+        c = ParticleSet.concatenate([a, b])
+        assert c.num_particles == 8
+        assert np.array_equal(c.positions[:5], a.positions)
+        assert np.array_equal(c.positions[5:], b.positions)
+        assert ParticleSet.concatenate([]).num_particles == 0
+
+    def test_select_owns_its_memory(self):
+        p = _make_set()
+        sub = p.select(p.positions[:, 0] < 0.5)
+        assert sub.num_particles > 0
+        assert not np.shares_memory(sub.positions, p.positions)
+
+    def test_slice_view_is_zero_copy(self):
+        p = _make_set()
+        v = p.slice_view(2, 7)
+        assert v.num_particles == 5
+        assert np.shares_memory(v.positions, p.positions)
+        for name in PARTICLE_ARRAYS:
+            arr = v.get_array(Association.POINT, name)
+            assert arr.is_zero_copy
+
+    def test_sorted_by_id_is_canonical(self):
+        p = _make_set()
+        perm = np.random.default_rng(0).permutation(p.num_particles)
+        shuffled = ParticleSet(
+            p.ids[perm],
+            np.ascontiguousarray(p.positions[perm]),
+            np.ascontiguousarray(p.velocities[perm]),
+            p.masses[perm],
+        )
+        assert shuffled.state_tuple() == p.state_tuple()
+
+    def test_fingerprint_tracks_content(self):
+        p = _make_set()
+        before = p.fingerprint()
+        assert p.copy().fingerprint() == before
+        p.positions[0, 0] += 0.25
+        assert p.fingerprint() != before
+
+
+class TestRaggedDataArrayViews:
+    """The satellite fix: introspection on per-rank slices."""
+
+    def test_slice_tuples_zero_copy_soa(self):
+        base = np.arange(20, dtype=np.float64)
+        arr = DataArray.from_soa("m", [base])
+        view = arr.slice_tuples(5, 12)
+        assert view.num_tuples == 7
+        assert view.is_zero_copy
+        assert view.is_zero_copy_of(base)
+        assert view.nbytes_copied == 0
+
+    def test_slice_tuples_zero_copy_aos(self):
+        base = np.arange(30, dtype=np.float64).reshape(10, 3)
+        arr = DataArray.from_aos("pos", base)
+        view = arr.slice_tuples(2, 6)
+        assert view.is_zero_copy
+        assert view.is_zero_copy_of(base)
+        # The AoS fast path must also stay a view of the parent storage.
+        assert np.shares_memory(view.as_aos(), base)
+        assert view.nbytes_copied == 0
+
+    def test_empty_slice_is_valid(self):
+        arr = DataArray.from_soa("m", [np.arange(8.0)])
+        view = arr.slice_tuples(8, 8)
+        assert view.num_tuples == 0
+        assert view.is_zero_copy
+        assert view.min() == float("inf")
+        assert view.max() == float("-inf")
+
+    def test_slice_of_copied_buffer_reports_copied(self):
+        arr = DataArray.from_soa("m", [np.arange(8.0)]).deep_copy()
+        assert not arr.is_zero_copy
+        view = arr.slice_tuples(0, 4)
+        assert not view.is_zero_copy
+
+    def test_fingerprint_distinguishes_slices(self):
+        base = np.arange(16, dtype=np.float64)
+        arr = DataArray.from_soa("m", [base])
+        a = arr.slice_tuples(0, 8).fingerprint()
+        b = arr.slice_tuples(8, 16).fingerprint()
+        assert a != b
+        assert arr.slice_tuples(0, 8).fingerprint() == a
+
+    def test_write_guard_survives_slicing(self):
+        base = np.arange(30, dtype=np.float64).reshape(10, 3)
+        guarded = DataArray.from_aos("pos", base).readonly_view()
+        view = guarded.slice_tuples(3, 7)
+        assert view.guarded
+        with pytest.raises(ValueError):
+            view.component(0)[0] = 99.0
+        with pytest.raises(ValueError):
+            view.as_aos()[0, 0] = 99.0
+        # ... and the original storage is untouched.
+        assert base[3, 0] == 9.0
+
+    def test_guard_on_particle_set_slice(self):
+        """End to end: guard a ParticleSet attribute, slice a per-rank
+        range, and verify writes raise while reads fingerprint-match."""
+        p = _make_set(10)
+        pos = p.get_array(Association.POINT, "position").readonly_view()
+        rank_share = pos.slice_tuples(4, 9)
+        with pytest.raises(ValueError):
+            rank_share.component(1)[:] = 0.0
+        expected = DataArray.from_aos("position", p.positions[4:9])
+        assert rank_share.fingerprint() == expected.fingerprint()
+
+
+class TestDepositKernels:
+    def test_deposit_conserves_quantized_mass(self):
+        rng = np.random.default_rng(7)
+        pos = rng.random((200, 3))
+        mass = rng.integers(1, 17, 200) / 16.0
+        grid = cic_deposit_int(pos, mass, 8)
+        # Each particle's 8 corner weights sum to 1; after quantization the
+        # grid total differs from mass*scale only by per-corner rounding.
+        total = grid.sum()
+        exact = int(round(mass.sum() * DEPOSIT_SCALE))
+        assert abs(total - exact) <= 4 * 200  # <= half-ulp per corner
+
+    def test_deposit_is_order_independent(self):
+        rng = np.random.default_rng(11)
+        pos = rng.random((300, 3))
+        mass = rng.integers(1, 17, 300) / 16.0
+        perm = rng.permutation(300)
+        a = cic_deposit_int(pos, mass, 16)
+        b = cic_deposit_int(pos[perm], mass[perm], 16)
+        assert np.array_equal(a, b)
+
+    def test_deposit_is_decomposition_independent(self):
+        rng = np.random.default_rng(13)
+        pos = rng.random((128, 3))
+        mass = rng.integers(1, 17, 128) / 16.0
+        whole = cic_deposit_int(pos, mass, 8)
+        split = (
+            cic_deposit_int(pos[:50], mass[:50], 8)
+            + cic_deposit_int(pos[50:], mass[50:], 8)
+        )
+        assert np.array_equal(whole, split)
+
+    def test_empty_deposit(self):
+        out = cic_deposit_int(np.empty((0, 3)), np.empty(0), 4)
+        assert out.shape == (4, 4, 4)
+        assert out.sum() == 0
+        out2 = cic_deposit_int_2d(np.empty((0, 3)), np.empty(0), 4)
+        assert out2.shape == (4, 4)
+        assert out2.sum() == 0
+
+    def test_projection_matches_3d_sum(self):
+        """The 2D projection kernel must agree with projecting the 3D
+        deposit -- same corners, same quantization, same totals."""
+        rng = np.random.default_rng(17)
+        pos = rng.random((150, 3))
+        mass = rng.integers(1, 17, 150) / 16.0
+        for axis in (0, 1, 2):
+            plane = cic_deposit_int_2d(pos, mass, 8, axis=axis)
+            assert plane.sum() == cic_deposit_int_2d(
+                pos, mass, 8, axis=axis
+            ).sum()
+            # Totals agree with the per-particle quantized masses exactly
+            # as in the 3D kernel (4 corners instead of 8).
+            exact = int(round(mass.sum() * DEPOSIT_SCALE))
+            assert abs(plane.sum() - exact) <= 2 * 150
+        with pytest.raises(ValueError):
+            cic_deposit_int_2d(pos, mass, 8, axis=3)
+
+    def test_gather_constant_field_is_exact(self):
+        rng = np.random.default_rng(19)
+        pos = rng.random((64, 3))
+        field = np.full((8, 8, 8), 2.5)
+        out = cic_gather([field], pos)
+        assert out.shape == (64, 1)
+        assert np.allclose(out, 2.5)
+        assert cic_gather([field], np.empty((0, 3))).shape == (0, 1)

@@ -1,0 +1,180 @@
+"""Particle analyses: FoF clustering, projection/spectrum invariance.
+
+The cross-rank-count assertions here are *byte* comparisons: identical
+PNG CRCs, identical spectra, identical halo counts for 1/2/4 ranks --
+the property the fixed-point deposit and canonical FoF ordering exist
+to provide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.particles import (
+    DensityProjectionAnalysis,
+    FriendsOfFriendsAnalysis,
+    PowerSpectrumAnalysis,
+    friends_of_friends,
+    halo_sizes,
+)
+from repro.apps.nbody import NBodySimulation
+from repro.core.bridge import Bridge
+from repro.core.configurable import (
+    ConfigurableAnalysis,
+    registered_analysis_types,
+)
+from repro.mpi import run_spmd
+from repro.util.config import Configuration
+
+
+class TestFriendsOfFriends:
+    def test_two_well_separated_clusters(self):
+        a = 0.2 + 0.01 * np.random.default_rng(1).random((10, 3))
+        b = 0.8 + 0.01 * np.random.default_rng(2).random((7, 3))
+        pos = np.vstack([a, b])
+        labels = friends_of_friends(pos, 0.05)
+        assert len(set(labels[:10])) == 1
+        assert len(set(labels[10:])) == 1
+        assert labels[0] != labels[10]
+        assert halo_sizes(labels) == [10, 7]
+
+    def test_labels_are_canonical_min_index(self):
+        pos = np.array([[0.5, 0.5, 0.5], [0.51, 0.5, 0.5], [0.1, 0.1, 0.1]])
+        labels = friends_of_friends(pos, 0.05)
+        assert labels.tolist() == [0, 0, 2]
+
+    def test_periodic_minimum_image_links_across_wrap(self):
+        pos = np.array([[0.995, 0.5, 0.5], [0.005, 0.5, 0.5]])
+        labels = friends_of_friends(pos, 0.05)
+        assert labels[0] == labels[1]
+
+    def test_isolated_particles_form_no_halos(self):
+        pos = np.array([[0.1, 0.1, 0.1], [0.5, 0.5, 0.5], [0.9, 0.9, 0.1]])
+        labels = friends_of_friends(pos, 0.01)
+        assert halo_sizes(labels) == []
+        assert halo_sizes(labels, min_members=1) == [1, 1, 1]
+        assert halo_sizes(np.empty(0, dtype=np.int64)) == []
+
+    def test_partition_invariant_under_permutation(self):
+        rng = np.random.default_rng(5)
+        pos = rng.random((60, 3))
+        labels = friends_of_friends(pos, 0.12)
+        perm = rng.permutation(60)
+        permuted = friends_of_friends(pos[perm], 0.12)
+        # Same partition: particles i, j share a halo iff their images do.
+        for i in range(60):
+            for j in range(i + 1, 60):
+                same = labels[i] == labels[j]
+                pi, pj = np.nonzero(perm == i)[0][0], np.nonzero(perm == j)[0][0]
+                assert same == (permuted[pi] == permuted[pj])
+
+
+def _run_analyses(nranks, steps=3, grid=16, n=300, seed=7, out_dir=None):
+    def prog(comm):
+        sim = NBodySimulation(comm, grid=grid, n_particles=n, seed=seed)
+        bridge = Bridge(comm, sim.make_data_adaptor(), sanitize=True)
+        bridge.add_analysis(DensityProjectionAnalysis(grid=grid, output_dir=out_dir))
+        bridge.add_analysis(PowerSpectrumAnalysis(grid=grid, output_dir=out_dir))
+        bridge.add_analysis(FriendsOfFriendsAnalysis(linking_length=0.06))
+        bridge.initialize()
+        sim.run(steps, bridge)
+        return bridge.finalize()
+
+    return run_spmd(nranks, prog, timeout=90.0)[0]
+
+
+class TestRankInvariance:
+    def test_all_three_analyses_identical_across_1_2_4_ranks(self):
+        results = {nr: _run_analyses(nr) for nr in (1, 2, 4)}
+        r1, r2, r4 = results[1], results[2], results[4]
+        assert (
+            r1["DensityProjectionAnalysis"]["png_crcs"]
+            == r2["DensityProjectionAnalysis"]["png_crcs"]
+            == r4["DensityProjectionAnalysis"]["png_crcs"]
+        )
+        assert (
+            r1["PowerSpectrumAnalysis"]["power"]
+            == r2["PowerSpectrumAnalysis"]["power"]
+            == r4["PowerSpectrumAnalysis"]["power"]
+        )
+        assert (
+            r1["FriendsOfFriendsAnalysis"]["halo_counts"]
+            == r2["FriendsOfFriendsAnalysis"]["halo_counts"]
+            == r4["FriendsOfFriendsAnalysis"]["halo_counts"]
+        )
+        assert (
+            r1["FriendsOfFriendsAnalysis"]["halo_sizes"]
+            == r2["FriendsOfFriendsAnalysis"]["halo_sizes"]
+            == r4["FriendsOfFriendsAnalysis"]["halo_sizes"]
+        )
+
+    def test_artifact_files_written(self, tmp_path):
+        out = str(tmp_path / "artifacts")
+        result = _run_analyses(2, out_dir=out)
+        assert result["DensityProjectionAnalysis"]["steps"] == 3
+        pngs = sorted(p.name for p in (tmp_path / "artifacts").glob("*.png"))
+        assert pngs == [
+            "density_proj_000001.png",
+            "density_proj_000002.png",
+            "density_proj_000003.png",
+        ]
+        assert (tmp_path / "artifacts" / "power_spectrum.json").exists()
+
+
+class TestAnalysisBehavior:
+    def test_spectrum_shape_and_bins(self):
+        result = _run_analyses(2, grid=16)
+        ps = result["PowerSpectrumAnalysis"]
+        assert ps["k"] == list(range(9))  # 16//2 + 1 shells
+        assert all(len(p) == 9 for p in ps["power"])
+        assert all(v >= 0.0 for p in ps["power"] for v in p)
+
+    def test_frequency_skips_steps(self):
+        def prog(comm):
+            sim = NBodySimulation(comm, grid=8, n_particles=64, seed=3)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            bridge.add_analysis(DensityProjectionAnalysis(grid=8, frequency=2))
+            bridge.initialize()
+            sim.run(4, bridge)
+            return bridge.finalize()
+
+        result = run_spmd(1, prog, timeout=60.0)[0]
+        # Steps 1..4; only the even ones execute under frequency=2.
+        assert result["DensityProjectionAnalysis"]["steps"] == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DensityProjectionAnalysis(grid=0)
+        with pytest.raises(ValueError):
+            PowerSpectrumAnalysis(frequency=0)
+        with pytest.raises(ValueError):
+            FriendsOfFriendsAnalysis(linking_length=0.0)
+        with pytest.raises(ValueError):
+            FriendsOfFriendsAnalysis(min_members=0)
+
+    def test_registered_in_configurable_registry(self):
+        types = registered_analysis_types()
+        for name in ("density_projection", "power_spectrum", "fof"):
+            assert name in types
+
+    def test_configurable_analysis_builds_and_runs(self):
+        config = Configuration(
+            {
+                "analyses": [
+                    {"type": "density_projection", "grid": 8},
+                    {"type": "fof", "linking_length": 0.08},
+                ]
+            }
+        )
+
+        def prog(comm):
+            sim = NBodySimulation(comm, grid=8, n_particles=64, seed=3)
+            bridge = Bridge(comm, sim.make_data_adaptor())
+            bridge.add_analysis(ConfigurableAnalysis(config))
+            bridge.initialize()
+            sim.run(2, bridge)
+            return bridge.finalize()
+
+        result = run_spmd(2, prog, timeout=60.0)[0]
+        inner = result["ConfigurableAnalysis"]
+        assert inner["DensityProjectionAnalysis"]["steps"] == 2
+        assert len(inner["FriendsOfFriendsAnalysis"]["halo_counts"]) == 2

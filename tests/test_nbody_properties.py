@@ -1,0 +1,213 @@
+"""Seeded property battery for the particle pipeline.
+
+Every property here is asserted as *equality*, not tolerance: the dyadic
+initial conditions and fixed-point deposit make conservation and
+decomposition-independence exact, so hypothesis gets to hunt for seeds
+that break bit-level invariants rather than epsilon budgets.
+
+The SPMD-driving properties keep ``max_examples`` small -- each example
+spins up a full multi-rank run -- while the pure-kernel properties
+(deposit order/decomposition independence, FoF partition invariance,
+ragged-slice introspection) run at normal hypothesis volume.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.particles import friends_of_friends, halo_sizes
+from repro.apps.nbody import NBodySimulation
+from repro.data import DataArray, ParticleSet, cic_deposit_int
+from repro.mpi import run_spmd
+
+seeds = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def _global_state(nranks, seed, steps, backend=None, **kw):
+    """state_tuple + exact conservation bookkeeping for one seeded run."""
+
+    def prog(comm):
+        sim = NBodySimulation(
+            comm,
+            grid=8,
+            n_particles=120,
+            seed=seed,
+            velocity_scale=0.25,
+            **kw,
+        )
+        mass_before = comm.allreduce(sim.particles.masses.sum())
+        count_before = comm.allreduce(sim.n_local)
+        sim.run(steps)
+        gathered = comm.allgather(
+            (sim.particles.ids, sim.particles.positions,
+             sim.particles.velocities, sim.particles.masses)
+        )
+        world = ParticleSet.concatenate([ParticleSet(*p) for p in gathered])
+        return {
+            "state": world.state_tuple(),
+            "mass_before": mass_before,
+            "mass_after": world.total_mass(),
+            "count_before": count_before,
+            "count_after": world.num_particles,
+            "migrated": sim.migrated_out,
+        }
+
+    return run_spmd(nranks, prog, backend=backend, timeout=90.0)
+
+
+class TestSeededConservation:
+    @given(seed=seeds, steps=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=6, deadline=None)
+    def test_count_and_mass_exact(self, seed, steps):
+        results = _global_state(3, seed, steps)
+        for r in results:
+            assert r["count_after"] == r["count_before"]
+            # Dyadic masses (multiples of 1/16): both sums are exact.
+            assert r["mass_after"] == r["mass_before"]
+
+    @given(seed=seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_momentum_exact_under_pure_drift(self, seed):
+        def prog(comm):
+            sim = NBodySimulation(
+                comm, grid=8, n_particles=100, seed=seed, gravity=0.0,
+                velocity_scale=0.25,
+            )
+            before = comm.allreduce(sim.particles.momentum())
+            sim.run(3)
+            after = comm.allreduce(sim.particles.momentum())
+            return before.tobytes() == after.tobytes()
+
+        assert all(run_spmd(2, prog, timeout=90.0))
+
+
+class TestSeededEquivalence:
+    @given(seed=seeds)
+    @settings(max_examples=4, deadline=None)
+    def test_thread_vs_process_bit_identical(self, seed):
+        thread = _global_state(2, seed, 3, backend="thread")
+        process = _global_state(2, seed, 3, backend="process")
+        assert thread[0]["state"] == process[0]["state"]
+        assert [r["migrated"] for r in thread] == [
+            r["migrated"] for r in process
+        ]
+
+    @given(seed=seeds, steps=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=5, deadline=None)
+    def test_rank_count_invariance(self, seed, steps):
+        one = _global_state(1, seed, steps)[0]["state"]
+        four = _global_state(4, seed, steps)[0]["state"]
+        assert one == four
+
+    @given(seed=seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_migration_restores_ownership(self, seed):
+        """Migration runs at the *start* of each step, so after the last
+        drift some particles may sit off-rank -- but one more migration
+        must hand every one of them to its owning slab."""
+
+        def prog(comm):
+            sim = NBodySimulation(
+                comm, grid=8, n_particles=100, seed=seed,
+                velocity_scale=0.25,
+            )
+            sim.run(3)
+            sim._migrate()
+            owners = sim._owner_ranks(sim.particles.positions[:, 0])
+            return bool(np.all(owners == comm.rank))
+
+        assert all(run_spmd(3, prog, timeout=90.0))
+
+
+def _population(seed, n):
+    rng = np.random.default_rng(seed)
+    positions = rng.random((n, 3))
+    masses = rng.integers(1, 17, n) / 16.0
+    return positions, masses
+
+
+class TestDepositProperties:
+    @given(seed=seeds, n=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_order_independence(self, seed, n):
+        positions, masses = _population(seed, n)
+        grid = cic_deposit_int(positions, masses, 8)
+        perm = np.random.default_rng(seed + 1).permutation(n)
+        permuted = cic_deposit_int(positions[perm], masses[perm], 8)
+        assert grid.tobytes() == permuted.tobytes()
+
+    @given(
+        seed=seeds,
+        n=st.integers(min_value=0, max_value=200),
+        split=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_decomposition_independence(self, seed, n, split):
+        """Depositing any two-way split of the population and summing the
+        int64 grids equals depositing the whole population at once."""
+        positions, masses = _population(seed, n)
+        split = min(split, n)
+        whole = cic_deposit_int(positions, masses, 8)
+        parts = cic_deposit_int(
+            positions[:split], masses[:split], 8
+        ) + cic_deposit_int(positions[split:], masses[split:], 8)
+        assert whole.tobytes() == parts.tobytes()
+
+    @given(seed=seeds, n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_quantized_mass_bounded_error(self, seed, n):
+        """Each particle spreads over 8 corners; rounding each corner
+        contribution costs at most 1/2 ulp of the scale, so the total
+        integer mass is within 4*n of the exact scaled sum."""
+        from repro.data import DEPOSIT_SCALE
+
+        positions, masses = _population(seed, n)
+        grid = cic_deposit_int(positions, masses, 8)
+        exact = round(masses.sum() * DEPOSIT_SCALE)
+        assert abs(int(grid.sum()) - exact) <= 4 * n
+
+
+class TestFoFProperties:
+    @given(seed=seeds, n=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_invariant_under_permutation(self, seed, n):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 3))
+        labels = friends_of_friends(pos, 0.15)
+        perm = rng.permutation(n)
+        permuted = friends_of_friends(pos[perm], 0.15)
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[perm] = np.arange(n)
+        same = labels[:, None] == labels[None, :]
+        same_p = permuted[inverse][:, None] == permuted[inverse][None, :]
+        assert bool(np.all(same == same_p))
+
+    @given(seed=seeds, n=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_halo_sizes_partition_the_population(self, seed, n):
+        rng = np.random.default_rng(seed)
+        labels = friends_of_friends(rng.random((n, 3)), 0.2)
+        assert sum(halo_sizes(labels, min_members=1)) == n
+        assert all(s >= 2 for s in halo_sizes(labels))
+
+
+class TestRaggedSliceProperties:
+    @given(
+        seed=seeds,
+        n=st.integers(min_value=0, max_value=50),
+        lo=st.integers(min_value=0, max_value=50),
+        span=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_slice_tuples_zero_copy_and_fingerprint(self, seed, n, lo, span):
+        """Any per-rank slice of a ragged population stays zero-copy and
+        fingerprints identically to a fresh copy of the same tuples."""
+        rng = np.random.default_rng(seed)
+        base = DataArray.from_aos("position", rng.random((n, 3)))
+        lo = min(lo, n)
+        hi = min(lo + span, n)
+        view = base.slice_tuples(lo, hi)
+        assert view.is_zero_copy
+        assert view.num_tuples == hi - lo
+        fresh = DataArray.from_aos("position", base.as_aos()[lo:hi].copy())
+        assert view.fingerprint() == fresh.fingerprint()

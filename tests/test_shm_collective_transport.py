@@ -209,6 +209,132 @@ class TestZeroSerialization:
             assert rec.total("shm::pool::bytes_packed") == 6 * 20000 * 8
 
 
+class TestRaggedPayloads:
+    """Variable-length (gatherv-style) contributions: the particle
+    migration traffic shape.  Per-rank array lengths differ, some ranks
+    legitimately contribute *zero* elements, and the empty contributions
+    must neither deadlock a transport nor allocate 0-byte shm segments."""
+
+    @staticmethod
+    def _ragged(rank, n_factor=1000):
+        """rank 0 -> empty, rank r -> r * n_factor elements."""
+        n = rank * n_factor
+        return (
+            np.arange(n, dtype=np.int64) + rank,
+            np.full((n, 3), float(rank)),
+        )
+
+    def test_ragged_allgather_bit_identical(self):
+        def prog(comm):
+            return _fingerprint(comm.allgather(self._ragged(comm.rank)))
+
+        results = {t: _run(t, prog) for t in TRANSPORTS}
+        ref = results.pop("thread")
+        for transport, got in results.items():
+            assert got == ref, transport
+
+    def test_ragged_gather_with_empty_root_contribution(self):
+        def prog(comm):
+            return _fingerprint(comm.gather(self._ragged(comm.rank), root=0))
+
+        results = {t: _run(t, prog) for t in TRANSPORTS}
+        ref = results.pop("thread")
+        for transport, got in results.items():
+            assert got == ref, transport
+
+    def test_migration_shaped_exchange_bit_identical(self):
+        """Point-to-point all-pairs exchange of ragged outboxes, exactly
+        the nbody migration pattern: send-all-then-receive-all, with rank
+        0 sending empty arrays to everyone."""
+
+        def prog(comm):
+            for dest in range(comm.size):
+                if dest != comm.rank:
+                    n = comm.rank * 500  # rank 0: empty payloads
+                    comm.send(
+                        (np.arange(n, dtype=np.int64),
+                         np.full((n, 3), float(dest))),
+                        dest,
+                        tag=9,
+                    )
+            inbox = []
+            for src in range(comm.size):
+                if src != comm.rank:
+                    inbox.append(comm.recv(src, tag=9))
+            return _fingerprint(inbox)
+
+        results = {t: _run(t, prog) for t in TRANSPORTS}
+        ref = results.pop("thread")
+        for transport, got in results.items():
+            assert got == ref, transport
+
+    def test_empty_arrays_never_allocate_segments(self):
+        """Even with pooling forced on for every array (threshold 1), a
+        zero-length contribution must stay on the inline pickle path:
+        0-byte shm segments are invalid and must never be created."""
+
+        def prog(comm):
+            empty = (np.empty(0, dtype=np.int64), np.empty((0, 3)))
+            comm.allgather(empty)
+            for dest in range(comm.size):
+                if dest != comm.rank:
+                    comm.send(empty, dest, tag=5)
+            for src in range(comm.size):
+                if src != comm.rank:
+                    comm.recv(src, tag=5)
+
+        sess = TraceSession("ragged-empty")
+        _run("process-shm", prog, trace=sess)
+        for rank in sess.ranks:
+            rec = sess.recorder(rank)
+            for kind in ("allgather", "send"):
+                assert rec.total(f"mpi::{kind}::bytes::shm") == 0, (rank, kind)
+
+    def test_large_ragged_leaves_ride_shm(self):
+        """The counterpart: a rank's non-empty migration payload above the
+        threshold must map through the pool, not the pickle stream."""
+
+        def prog(comm):
+            n = 0 if comm.rank == 0 else 20000
+            payload = (np.arange(n, dtype=np.int64), np.full(n, 1.0))
+            comm.allgather(payload)
+
+        sess = TraceSession("ragged-mixed")
+        _run("process-default", prog, trace=sess)
+        shm_bytes = {
+            rank: sess.recorder(rank).total("mpi::allgather::bytes::shm")
+            for rank in sess.ranks
+        }
+        assert shm_bytes[0] == 0  # empty contribution: nothing to map
+        for rank in (1, 2):
+            assert shm_bytes[rank] == 20000 * 16, rank
+
+    def test_nbody_migration_state_identical_across_transports(self):
+        """End to end: the particle app's migrated global state is
+        bit-identical whether migration payloads ride pooled segments,
+        pickled envelopes, or thread-shared memory."""
+        from repro.apps.nbody import NBodySimulation
+        from repro.data import ParticleSet
+
+        def prog(comm):
+            sim = NBodySimulation(
+                comm, grid=8, n_particles=200, seed=3, velocity_scale=0.25
+            )
+            sim.run(4)
+            parts = comm.allgather(
+                (sim.particles.ids, sim.particles.positions,
+                 sim.particles.velocities, sim.particles.masses)
+            )
+            world = ParticleSet.concatenate([ParticleSet(*p) for p in parts])
+            return world.state_tuple(), sim.migrated_out
+
+        results = {t: _run(t, prog) for t in TRANSPORTS}
+        ref = results.pop("thread")
+        assert sum(r[1] for r in ref) > 0  # migration actually exercised
+        for transport, got in results.items():
+            assert [r[0] for r in got] == [r[0] for r in ref], transport
+
+
 class TestChaosWithShmCollectives:
     def test_chaos_artifacts_invariant_to_transport(self, tmp_path):
         """Regression gate for the fault-injection draw order: the chaos
